@@ -1,0 +1,95 @@
+"""Figure 2: top CPU-intensive functions per model and dataset.
+
+Paper reference
+---------------
+Figure 2 profiles the non-sparse training loop of TransE / TransH / TransR /
+TransD / TorusE on FB13 and FB15K and shows that the embedding gradient
+computation (``EmbeddingBackward``), norm backward, and — for TorusE — the
+torus dissimilarity dominate CPU time.
+
+What this harness does
+----------------------
+* pytest-benchmark entries time the profiled training step per model;
+* ``main()`` runs the dense (gather/scatter) implementation of each model on
+  FB13- and FB15K-shaped data under ``cProfile`` and prints each model's top
+  functions with their share of library CPU time, so the dominance of the
+  gather/scatter machinery can be checked directly against Figure 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import DEFAULT_DIM, DEFAULT_SCALE, format_table, load_scaled_dataset, make_batch
+from repro.baselines import DENSE_MODELS
+from repro.optim import Adam
+from repro.profiling import profile_training_step
+
+FIG2_MODELS = ["transe", "transh", "transr", "transd", "toruse"]
+FIG2_DATASETS = ["FB13", "FB15K"]
+
+
+@pytest.mark.parametrize("model_name", FIG2_MODELS)
+def test_dense_training_step(benchmark, model_name):
+    """Time one dense training step for each Figure-2 model on scaled FB15K."""
+    kg = load_scaled_dataset("FB15K")
+    model = DENSE_MODELS[model_name](kg.n_entities, kg.n_relations, DEFAULT_DIM, rng=0)
+    batch = make_batch(kg, batch_size=2048)
+    optimizer = Adam(model.parameters(), lr=4e-4)
+
+    def step():
+        model.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+
+    benchmark.group = "fig2-dense-step"
+    benchmark.extra_info["model"] = model_name
+    benchmark(step)
+
+
+def run(scale: float = DEFAULT_SCALE, dim: int = DEFAULT_DIM, batch_size: int = 4096,
+        steps: int = 3, top: int = 5) -> list[dict]:
+    """Regenerate the Figure-2 style function-share profile."""
+    rows = []
+    for dataset in FIG2_DATASETS:
+        kg = load_scaled_dataset(dataset, scale=scale)
+        batch = make_batch(kg, batch_size=min(batch_size, kg.n_triples))
+        for model_name in FIG2_MODELS:
+            model = DENSE_MODELS[model_name](kg.n_entities, kg.n_relations, dim, rng=0)
+            optimizer = Adam(model.parameters(), lr=4e-4)
+            profile = profile_training_step(model, batch, optimizer=optimizer,
+                                            steps=steps, top=top)
+            for rank, entry in enumerate(profile, start=1):
+                rows.append({
+                    "model": model_name,
+                    "dataset": dataset,
+                    "rank": rank,
+                    "function": entry.function,
+                    "share_%": 100.0 * entry.share,
+                })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--top", type=int, default=5)
+    args = parser.parse_args()
+    rows = run(scale=args.scale, dim=args.dim, top=args.top)
+    print(format_table(
+        rows, ["model", "dataset", "rank", "function", "share_%"],
+        title="Figure 2 (reproduced): top CPU functions of the dense training loop",
+    ))
+    gather_rows = [r for r in rows if r["rank"] <= 3
+                   and ("gather" in r["function"] or "backward" in r["function"]
+                        or "scatter" in r["function"] or "torus" in r["function"])]
+    print(f"\n{len(gather_rows)} of the top-3 entries are embedding gather/scatter, "
+          "backward, or torus-distance functions (the paper's observation).")
+
+
+if __name__ == "__main__":
+    main()

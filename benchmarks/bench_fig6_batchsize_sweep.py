@@ -1,0 +1,95 @@
+"""Figure 6: training time and device-memory allocation versus batch size.
+
+Paper reference
+---------------
+Figure 6 sweeps the batch size from 2^12 to 2^19 for the four SpTransX models
+(dim 128) and shows that the largest batch size both maximises device-memory
+utilisation and minimises total training time.
+
+What this harness does
+----------------------
+* pytest-benchmark entries time one SpTransE epoch at a small and a large
+  batch size;
+* ``main()`` sweeps batch sizes for every sparse model, measuring epoch
+  training time (wall clock) and the simulated device memory of one step
+  (autograd-tape walk), and prints both series.  The reproducible shape is
+  that per-epoch time falls and memory grows roughly linearly as the batch
+  size increases.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import DEFAULT_SCALE, format_table, load_scaled_dataset, make_batch
+from repro.models import SpTorusE, SpTransE, SpTransH, SpTransR
+from repro.profiling import measure_training_memory
+from repro.training import Trainer, TrainingConfig
+
+MODELS = {
+    "TransE": (SpTransE, {}),
+    "TransR": (SpTransR, {"relation_dim": 32}),
+    "TransH": (SpTransH, {}),
+    "TorusE": (SpTorusE, {}),
+}
+DEFAULT_BATCHES = [256, 1024, 4096, 16384]
+DIM = 64
+
+
+def _epoch_time(model_cls, kwargs, kg, batch_size: int) -> float:
+    model = model_cls(kg.n_entities, kg.n_relations, DIM, rng=0, **kwargs)
+    config = TrainingConfig(epochs=1, batch_size=batch_size, learning_rate=4e-4, seed=0)
+    result = Trainer(model, kg, config).train()
+    return result.total_time
+
+
+@pytest.mark.parametrize("batch_size", [1024, 16384])
+def test_transe_epoch_at_batch_size(benchmark, batch_size):
+    """Time one SpTransE epoch at a small and a large batch size."""
+    kg = load_scaled_dataset("FB15K")
+    benchmark.group = "fig6-batch-sweep"
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.pedantic(_epoch_time, args=(SpTransE, {}, kg, batch_size),
+                       rounds=1, iterations=1)
+
+
+def run(batch_sizes=None, scale: float = DEFAULT_SCALE) -> list[dict]:
+    """Regenerate the time/memory-vs-batch-size sweep."""
+    batch_sizes = batch_sizes if batch_sizes is not None else DEFAULT_BATCHES
+    kg = load_scaled_dataset("FB15K", scale=scale)
+    rows = []
+    for model_name, (cls, kwargs) in MODELS.items():
+        for batch_size in batch_sizes:
+            effective = min(batch_size, kg.n_triples)
+            epoch_time = _epoch_time(cls, kwargs, kg, effective)
+            model = cls(kg.n_entities, kg.n_relations, DIM, rng=0, **kwargs)
+            memory = measure_training_memory(model, make_batch(kg, effective), "adam")
+            rows.append({
+                "model": model_name,
+                "batch": effective,
+                "epoch_time_s": epoch_time,
+                "memory_gb": memory.total_gb,
+            })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, nargs="+", default=DEFAULT_BATCHES)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args()
+    rows = run(batch_sizes=args.batches, scale=args.scale)
+    print(format_table(rows, ["model", "batch", "epoch_time_s", "memory_gb"],
+                       title="Figure 6 (reproduced): epoch time and simulated memory vs batch size"))
+    for model_name in MODELS:
+        series = [r for r in rows if r["model"] == model_name]
+        faster = series[-1]["epoch_time_s"] <= series[0]["epoch_time_s"]
+        print(f"{model_name}: largest batch is "
+              f"{'fastest (paper shape holds)' if faster else 'NOT fastest'}; "
+              f"memory grows {series[-1]['memory_gb'] / max(series[0]['memory_gb'], 1e-12):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

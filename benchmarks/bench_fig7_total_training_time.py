@@ -1,0 +1,114 @@
+"""Figure 7: total training time per dataset and model, sparse vs dense, with speedups.
+
+Paper reference
+---------------
+Figure 7 is the headline result: total training time of TransE, TransR,
+TransH, and TorusE on the seven benchmark datasets, comparing SpTransX
+against TorchKGE / DGL-KE / PyG, with the slowdown factor of every baseline
+annotated (up to 5.3x on CPU).  Speedups are consistent across datasets, and
+TransE shows the largest gains.
+
+What this harness does
+----------------------
+* pytest-benchmark entries time a short sparse vs dense training run per
+  model on one dataset;
+* ``main()`` trains both formulations on every (dataset, model) pair at the
+  requested scale and prints the per-pair training times and dense/sparse
+  speedup factors plus the per-model geometric-mean speedup.  The reproducible
+  shape: the sparse formulation wins on every pair, TransE by the widest
+  margin.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import (
+    DATASETS,
+    DEFAULT_DIM,
+    DEFAULT_SCALE,
+    MODEL_PAIRS,
+    build_model,
+    format_table,
+    geometric_mean,
+    load_scaled_dataset,
+    paper_training_config,
+)
+from repro.training import Trainer
+
+
+@pytest.mark.parametrize("model_name", list(MODEL_PAIRS))
+@pytest.mark.parametrize("formulation", ["sparse", "dense"])
+def test_short_training_run(benchmark, model_name, formulation):
+    """Time a one-epoch training run per (model, formulation) on scaled FB15K237."""
+    kg = load_scaled_dataset("FB15K237")
+    benchmark.group = f"fig7-{model_name.lower()}"
+    benchmark.extra_info.update({"model": model_name, "formulation": formulation})
+
+    def train_once():
+        model = build_model(model_name, formulation, kg)
+        return Trainer(model, kg, paper_training_config(epochs=1)).train().total_time
+
+    benchmark.pedantic(train_once, rounds=1, iterations=1)
+
+
+def run(scale: float = DEFAULT_SCALE, epochs: int = 2, dim: int = DEFAULT_DIM,
+        batch_size: int = 4096, datasets=None) -> list[dict]:
+    """Regenerate the Figure-7 training-time grid."""
+    datasets = datasets if datasets is not None else DATASETS
+    rows = []
+    for dataset in datasets:
+        kg = load_scaled_dataset(dataset, scale=scale)
+        for model_name in MODEL_PAIRS:
+            times = {}
+            for formulation in ("sparse", "dense"):
+                model = build_model(model_name, formulation, kg, embedding_dim=dim)
+                result = Trainer(model, kg,
+                                 paper_training_config(epochs, batch_size)).train()
+                times[formulation] = result.total_time
+            rows.append({
+                "dataset": dataset,
+                "model": model_name,
+                "sparse_s": times["sparse"],
+                "dense_s": times["dense"],
+                "speedup": times["dense"] / max(times["sparse"], 1e-12),
+            })
+    return rows
+
+
+def summarize(rows: list[dict]) -> list[dict]:
+    """Per-model geometric-mean speedup across datasets."""
+    summary = []
+    for model_name in MODEL_PAIRS:
+        speedups = [r["speedup"] for r in rows if r["model"] == model_name]
+        summary.append({
+            "model": model_name,
+            "geomean_speedup": geometric_mean(speedups),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+        })
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--datasets", nargs="+", default=None)
+    args = parser.parse_args()
+    rows = run(scale=args.scale, epochs=args.epochs, dim=args.dim,
+               batch_size=args.batch_size, datasets=args.datasets)
+    print(format_table(rows, ["dataset", "model", "sparse_s", "dense_s", "speedup"],
+                       title="Figure 7 (reproduced): total training time, sparse vs dense"))
+    print()
+    print(format_table(summarize(rows),
+                       ["model", "geomean_speedup", "min_speedup", "max_speedup"],
+                       title="Per-model speedup summary (dense time / sparse time)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Figure 8: forward / backward / step breakdown per model, averaged over datasets.
+
+Paper reference
+---------------
+Figure 8 splits the total training time of every framework into loss
+computation (forward), gradient computation (backward), and parameter update
+(step), averaged over the seven datasets.  SpTransX improves forward and
+backward time for every model, with the backward phase showing the largest
+absolute reduction.
+
+What this harness does
+----------------------
+* pytest-benchmark entries time forward-only and backward-only passes of
+  sparse vs dense TransE;
+* ``main()`` trains every (model, formulation) pair on all scaled datasets and
+  prints the averaged per-phase breakdown, mirroring the figure's bars.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import (
+    DATASETS,
+    DEFAULT_DIM,
+    DEFAULT_SCALE,
+    MODEL_PAIRS,
+    build_model,
+    format_table,
+    load_scaled_dataset,
+    make_batch,
+    paper_training_config,
+)
+from repro.training import Trainer
+
+
+@pytest.mark.parametrize("formulation", ["sparse", "dense"])
+def test_forward_pass(benchmark, formulation):
+    """Time the TransE forward (loss) pass alone."""
+    kg = load_scaled_dataset("WN18")
+    model = build_model("TransE", formulation, kg)
+    batch = make_batch(kg, batch_size=4096)
+    benchmark.group = "fig8-forward"
+    benchmark.extra_info["formulation"] = formulation
+    benchmark(lambda: model.loss(batch))
+
+
+@pytest.mark.parametrize("formulation", ["sparse", "dense"])
+def test_backward_pass(benchmark, formulation):
+    """Time the TransE backward pass alone (fresh graph each round)."""
+    kg = load_scaled_dataset("WN18")
+    model = build_model("TransE", formulation, kg)
+    batch = make_batch(kg, batch_size=4096)
+    benchmark.group = "fig8-backward"
+    benchmark.extra_info["formulation"] = formulation
+
+    def backward_only():
+        model.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+
+    benchmark(backward_only)
+
+
+def run(scale: float = DEFAULT_SCALE, epochs: int = 2, dim: int = DEFAULT_DIM,
+        batch_size: int = 4096) -> list[dict]:
+    """Regenerate the Figure-8 per-phase breakdown averaged over datasets."""
+    rows = []
+    for model_name in MODEL_PAIRS:
+        for formulation in ("sparse", "dense"):
+            totals = {"forward": 0.0, "backward": 0.0, "step": 0.0}
+            for dataset in DATASETS:
+                kg = load_scaled_dataset(dataset, scale=scale)
+                model = build_model(model_name, formulation, kg, embedding_dim=dim)
+                breakdown = Trainer(model, kg, paper_training_config(epochs, batch_size)
+                                    ).train().breakdown()
+                for phase in totals:
+                    totals[phase] += breakdown[phase]
+            n = len(DATASETS)
+            rows.append({
+                "model": model_name,
+                "formulation": formulation,
+                "forward_s": totals["forward"] / n,
+                "backward_s": totals["backward"] / n,
+                "step_s": totals["step"] / n,
+                "total_s": sum(totals.values()) / n,
+            })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    args = parser.parse_args()
+    rows = run(scale=args.scale, epochs=args.epochs, dim=args.dim)
+    print(format_table(
+        rows, ["model", "formulation", "forward_s", "backward_s", "step_s", "total_s"],
+        title="Figure 8 (reproduced): per-phase training time averaged over the 7 datasets",
+    ))
+    for model_name in {r["model"] for r in rows}:
+        sparse = next(r for r in rows if r["model"] == model_name and r["formulation"] == "sparse")
+        dense = next(r for r in rows if r["model"] == model_name and r["formulation"] == "dense")
+        print(f"{model_name}: forward {dense['forward_s'] / max(sparse['forward_s'], 1e-12):.2f}x, "
+              f"backward {dense['backward_s'] / max(sparse['backward_s'], 1e-12):.2f}x faster sparse")
+
+
+if __name__ == "__main__":
+    main()

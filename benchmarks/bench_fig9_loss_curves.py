@@ -1,0 +1,93 @@
+"""Figure 9: training-loss curves of the sparse and non-sparse approach.
+
+Paper reference
+---------------
+Figure 9 plots the margin-loss curve of SpTransX and TorchKGE for the four
+models; the sparse curve follows a slightly different trajectory but converges
+to the same loss value.
+
+What this harness does
+----------------------
+* a pytest-benchmark entry times the paired curve collection for TransE;
+* ``main()`` trains each (model, formulation) pair from the same
+  initialisation on the same batches, records the per-epoch loss with the
+  history callback, prints both curves, and reports the final-loss gap —
+  which should be small for every model.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+import pytest
+
+from benchmarks.common import DEFAULT_SCALE, MODEL_PAIRS, build_model, format_table, load_scaled_dataset
+from repro.training import HistoryCallback, Trainer, TrainingConfig
+
+
+def _loss_curve(model, kg, epochs: int, batch_size: int, seed: int = 0) -> list[float]:
+    history = HistoryCallback()
+    config = TrainingConfig(epochs=epochs, batch_size=batch_size, learning_rate=0.01,
+                            margin=0.5, optimizer="adam", seed=seed)
+    Trainer(model, kg, config, callbacks=[history]).train()
+    return history.losses
+
+
+def test_transe_loss_curves(benchmark):
+    """Time the paired loss-curve collection for TransE."""
+    kg = load_scaled_dataset("WN18")
+    benchmark.group = "fig9-loss-curves"
+
+    def curves():
+        sparse = _loss_curve(build_model("TransE", "sparse", kg), kg, 3, 4096)
+        dense = _loss_curve(build_model("TransE", "dense", kg), kg, 3, 4096)
+        return sparse, dense
+
+    sparse, dense = benchmark.pedantic(curves, rounds=1, iterations=1)
+    assert len(sparse) == len(dense) == 3
+
+
+def run(scale: float = DEFAULT_SCALE, epochs: int = 10, batch_size: int = 4096,
+        dim: int = 64) -> dict:
+    """Regenerate the Figure-9 loss curves for every model."""
+    kg = load_scaled_dataset("WN18", scale=scale)
+    curves = {}
+    for model_name in MODEL_PAIRS:
+        curves[model_name] = {}
+        for formulation in ("sparse", "dense"):
+            model = build_model(model_name, formulation, kg, embedding_dim=dim)
+            curves[model_name][formulation] = _loss_curve(model, kg, epochs, batch_size)
+    return curves
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--dim", type=int, default=64)
+    args = parser.parse_args()
+    curves = run(scale=args.scale, epochs=args.epochs, dim=args.dim)
+
+    rows = []
+    for model_name, pair in curves.items():
+        for formulation, losses in pair.items():
+            rows.append({
+                "model": model_name,
+                "formulation": formulation,
+                "first_loss": losses[0],
+                "final_loss": losses[-1],
+            })
+    print(format_table(rows, ["model", "formulation", "first_loss", "final_loss"],
+                       title="Figure 9 (reproduced): loss-curve endpoints"))
+    print("\nfull curves:")
+    for model_name, pair in curves.items():
+        for formulation, losses in pair.items():
+            formatted = " ".join(f"{x:.3f}" for x in losses)
+            print(f"  {model_name:7s} {formulation:6s}: {formatted}")
+        gap = abs(pair["sparse"][-1] - pair["dense"][-1])
+        print(f"  {model_name:7s} final-loss gap: {gap:.4f}")
+
+
+if __name__ == "__main__":
+    main()

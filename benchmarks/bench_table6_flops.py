@@ -1,0 +1,100 @@
+"""Table 6: average FLOP count per model, sparse vs dense.
+
+Paper reference
+---------------
+Table 6 reports perf-measured FLOP counts (x10^10) averaged over the seven
+datasets; SpTransX is lower than every baseline for every model (e.g. 220 vs
+483.87 for TransE against TorchKGE).
+
+What this harness does
+----------------------
+* pytest-benchmark entries time the FLOP-counting instrumentation;
+* ``main()`` counts analytic FLOPs of one training step for every (dataset,
+  model, formulation) pair and prints per-model averages.
+
+Deviation note
+--------------
+The paper measures hardware FLOPs of whole frameworks, where the non-sparse
+baselines execute many auxiliary kernels the unified SpMM path avoids.  Our
+analytic counter only counts the mathematical operations of the score
+function, loss, and gradients, so the sparse and dense paths come out close to
+each other (sparse ≈ 1.0-1.5x dense for ``hrt`` models, below dense for the
+projection-heavy TransR).  EXPERIMENTS.md discusses this difference; the
+harness reports the measured ratios so the deviation is visible rather than
+hidden.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import (
+    DATASETS,
+    DEFAULT_DIM,
+    DEFAULT_SCALE,
+    MODEL_PAIRS,
+    build_model,
+    format_table,
+    load_scaled_dataset,
+    make_batch,
+)
+from repro.optim import Adam
+from repro.profiling import count_training_flops
+
+
+@pytest.mark.parametrize("formulation", ["sparse", "dense"])
+def test_flop_counting(benchmark, formulation):
+    """Time the instrumented FLOP count of one TransE step."""
+    kg = load_scaled_dataset("WN18RR")
+    model = build_model("TransE", formulation, kg)
+    batch = make_batch(kg, batch_size=4096)
+    optimizer = Adam(model.parameters(), lr=4e-4)
+    benchmark.group = "table6-flops"
+    benchmark.extra_info["formulation"] = formulation
+    breakdown = benchmark(count_training_flops, model, batch, optimizer)
+    assert breakdown.total > 0
+
+
+def run(scale: float = DEFAULT_SCALE, dim: int = DEFAULT_DIM,
+        batch_size: int = 4096, include_step: bool = True) -> list[dict]:
+    """Regenerate the Table-6 FLOP comparison (analytic counts)."""
+    rows = []
+    for model_name in MODEL_PAIRS:
+        totals = {"sparse": 0.0, "dense": 0.0}
+        for dataset in DATASETS:
+            kg = load_scaled_dataset(dataset, scale=scale)
+            batch = make_batch(kg, batch_size=min(batch_size, kg.n_triples))
+            for formulation in totals:
+                model = build_model(model_name, formulation, kg, embedding_dim=dim)
+                optimizer = Adam(model.parameters(), lr=4e-4) if include_step else None
+                breakdown = count_training_flops(model, batch, optimizer)
+                totals[formulation] += breakdown.total
+        n = len(DATASETS)
+        rows.append({
+            "model": model_name,
+            "sparse_gflops": totals["sparse"] / n / 1e9,
+            "dense_gflops": totals["dense"] / n / 1e9,
+            "sparse/dense": totals["sparse"] / max(totals["dense"], 1e-12),
+        })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--batch-size", type=int, default=4096)
+    args = parser.parse_args()
+    rows = run(scale=args.scale, dim=args.dim, batch_size=args.batch_size)
+    print(format_table(
+        rows, ["model", "sparse_gflops", "dense_gflops", "sparse/dense"],
+        title="Table 6 (reproduced, analytic): FLOPs of one training step averaged over datasets",
+    ))
+    print("\nNote: analytic arithmetic counts; see the module docstring and EXPERIMENTS.md "
+          "for why the paper's measured reduction is larger.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Section 6.2.5 / Appendix E (Table 8): Hits@10 parity between sparse and dense training.
+
+Paper reference
+---------------
+The paper reports that the sparse formulation does not change model accuracy:
+on WN18, SpTransX's TransE / TorusE / TransH reach 0.72 / 0.63 / 0.59 Hits@10
+vs TorchKGE's 0.74 / 0.63 / 0.60 after 100 epochs, and Appendix E's Table 8
+shows multi-seed averages where SpTransX matches or slightly exceeds TorchKGE.
+
+What this harness does
+----------------------
+* a pytest-benchmark entry times one parity cell (train sparse + dense, eval);
+* ``main()`` trains the sparse and dense variant of each model on a WN18-like
+  synthetic KG with learnable translational structure across several seeds and
+  prints mean ± std filtered Hits@10 per (model, formulation).  The
+  reproducible claim is parity: the two columns should agree within noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+import pytest
+
+from benchmarks.common import format_table
+from repro.baselines import DenseTorusE, DenseTransE, DenseTransH
+from repro.data import generate_learnable_kg
+from repro.evaluation import evaluate_link_prediction
+from repro.models import SpTorusE, SpTransE, SpTransH
+from repro.training import Trainer, TrainingConfig
+
+PAIRS = {
+    "TransE": (SpTransE, DenseTransE),
+    "TransH": (SpTransH, DenseTransH),
+    "TorusE": (SpTorusE, DenseTorusE),
+}
+
+
+def _dataset(seed: int = 0):
+    return generate_learnable_kg(300, 10, 3000, latent_dim=16, noise=0.05,
+                                 rng=seed, test_fraction=0.1)
+
+
+def _hits(model, kg, seed: int, epochs: int) -> float:
+    config = TrainingConfig(epochs=epochs, batch_size=1024, learning_rate=0.05,
+                            margin=0.5, optimizer="adam", seed=seed)
+    Trainer(model, kg, config).train()
+    return evaluate_link_prediction(model, kg.split.test,
+                                    known_triples=kg.known_triples(), ks=(10,)).hits[10]
+
+
+def _build_pair(model_name: str, sparse_cls, dense_cls, kg, seed: int, dim: int):
+    """Build the sparse and dense models from *identical* initial parameters.
+
+    The paper's parity claim is about the formulation, not the initialisation,
+    so the dense model's tables are copied into the sparse model before
+    training (the same protocol as the equivalence tests).
+    """
+    dense = dense_cls(kg.n_entities, kg.n_relations, dim, rng=seed)
+    sparse = sparse_cls(kg.n_entities, kg.n_relations, dim, rng=seed + 1000)
+    if model_name in ("TransE", "TorusE"):
+        sparse.embeddings.load_pretrained(dense.entity_embeddings.weight.data,
+                                          dense.relation_embeddings.weight.data)
+    elif model_name == "TransH":
+        sparse.entity_embeddings.data[...] = dense.entity_embeddings.weight.data
+        sparse.translations.weight.data[...] = dense.translations.weight.data
+        sparse.normals.weight.data[...] = dense.normals.weight.data
+    return sparse, dense
+
+
+def test_transe_parity_cell(benchmark):
+    """Time one sparse-vs-dense parity measurement for TransE."""
+    kg = _dataset(0)
+    benchmark.group = "table8-parity"
+
+    def cell():
+        sparse, dense = _build_pair("TransE", SpTransE, DenseTransE, kg, 0, 32)
+        return (_hits(sparse, kg, 0, epochs=10), _hits(dense, kg, 0, epochs=10))
+
+    sparse_hits, dense_hits = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert abs(sparse_hits - dense_hits) < 0.3
+
+
+def run(seeds=(0, 1, 2), epochs: int = 30, dim: int = 32) -> list[dict]:
+    """Regenerate the Table-8 parity comparison."""
+    rows = []
+    for model_name, (sparse_cls, dense_cls) in PAIRS.items():
+        sparse_scores, dense_scores = [], []
+        for seed in seeds:
+            kg = _dataset(seed)
+            sparse, dense = _build_pair(model_name, sparse_cls, dense_cls, kg, seed, dim)
+            sparse_scores.append(_hits(sparse, kg, seed, epochs))
+            dense_scores.append(_hits(dense, kg, seed, epochs))
+        rows.append({
+            "model": model_name,
+            "sparse_hits@10": float(np.mean(sparse_scores)),
+            "sparse_std": float(np.std(sparse_scores)),
+            "dense_hits@10": float(np.mean(dense_scores)),
+            "dense_std": float(np.std(dense_scores)),
+            "gap": float(np.mean(sparse_scores) - np.mean(dense_scores)),
+        })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--dim", type=int, default=32)
+    args = parser.parse_args()
+    rows = run(seeds=args.seeds, epochs=args.epochs, dim=args.dim)
+    print(format_table(
+        rows,
+        ["model", "sparse_hits@10", "sparse_std", "dense_hits@10", "dense_std", "gap"],
+        title="Table 8 (reproduced): filtered Hits@10, sparse vs dense, multi-seed",
+    ))
+    worst = max(abs(r["gap"]) for r in rows)
+    print(f"\nLargest sparse-dense gap: {worst:.3f} Hits@10 "
+          "(the paper's parity claim holds when this stays within seed noise).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Appendix F / Table 9: data-parallel scaling of sparse TransE on the COVID-19 KG.
+
+Paper reference
+---------------
+Table 9 trains SpTransE on the COVID-19 knowledge graph (60,820 entities, 62
+relations, ~1M triplets) with PyTorch DDP on 4-64 A100 GPUs; 500-epoch time
+falls from 706s (4 GPUs) to 180s (64 GPUs) — monotone but sub-linear scaling.
+
+What this harness does
+----------------------
+* pytest-benchmark entries time one simulated data-parallel epoch at 2 and 8
+  workers;
+* ``main()`` runs the simulated DDP trainer (real gradient averaging, α–β
+  all-reduce cost model) over a sweep of worker counts on a scaled COVID-19
+  stand-in and prints estimated total times and speedups.  The reproducible
+  shape: monotone speedup with diminishing returns as the worker count grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from benchmarks.common import format_table
+from repro.data import make_dataset_like
+from repro.models import SpTransE
+from repro.training import TrainingConfig
+from repro.training.distributed import CommunicationModel, scaling_sweep
+
+DEFAULT_WORKERS = [4, 8, 16, 32, 64]
+
+
+def _config(epochs: int) -> TrainingConfig:
+    return TrainingConfig(epochs=epochs, batch_size=16384, learning_rate=4e-4, seed=0)
+
+
+@pytest.mark.parametrize("workers", [2, 8])
+def test_simulated_ddp_epoch(benchmark, workers):
+    """Time one simulated data-parallel epoch of SpTransE on scaled COVID-19."""
+    kg = make_dataset_like("COVID19", scale=0.005, rng=0)
+    benchmark.group = "table9-scaling"
+    benchmark.extra_info["workers"] = workers
+
+    def run_epoch():
+        from repro.training import DataParallelTrainer
+
+        model = SpTransE(kg.n_entities, kg.n_relations, 32, rng=0)
+        return DataParallelTrainer(model, kg, workers, _config(1)).train()
+
+    result = benchmark.pedantic(run_epoch, rounds=1, iterations=1)
+    assert result.n_workers == workers
+
+
+def run(workers=None, scale: float = 0.05, epochs: int = 2, dim: int = 64) -> list[dict]:
+    """Regenerate the Table-9 scaling sweep."""
+    workers = workers if workers is not None else DEFAULT_WORKERS
+    kg = make_dataset_like("COVID19", scale=scale, rng=0)
+    results = scaling_sweep(
+        lambda: SpTransE(kg.n_entities, kg.n_relations, dim, rng=0),
+        kg, workers, config=_config(epochs), comm_model=CommunicationModel(),
+    )
+    baseline = results[0]
+    rows = []
+    for result in results:
+        rows.append({
+            "workers": result.n_workers,
+            "compute_s": result.measured_compute_time,
+            "comm_s": result.estimated_communication_time,
+            "total_s": result.estimated_total_time,
+            "speedup_vs_first": baseline.estimated_total_time
+            / max(result.estimated_total_time, 1e-12),
+        })
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, nargs="+", default=DEFAULT_WORKERS)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--dim", type=int, default=64)
+    args = parser.parse_args()
+    rows = run(workers=args.workers, scale=args.scale, epochs=args.epochs, dim=args.dim)
+    print(format_table(
+        rows, ["workers", "compute_s", "comm_s", "total_s", "speedup_vs_first"],
+        title="Table 9 (reproduced, simulated): data-parallel scaling of SpTransE on a "
+              "COVID-19-shaped KG",
+    ))
+    best = min(rows, key=lambda r: r["total_s"])
+    last = rows[-1]
+    comm_share = last["comm_s"] / max(last["total_s"], 1e-12)
+    print(f"\nBest total time at {best['workers']} workers "
+          f"({best['speedup_vs_first']:.2f}x over {rows[0]['workers']} workers); "
+          f"communication is {100 * comm_share:.0f}% of the {last['workers']}-worker time.")
+    print("The paper's qualitative claims: time falls with worker count and communication "
+          "is not the bottleneck up to 64 workers.  On this substrate the curve flattens "
+          "once per-shard work is interpreter-overhead dominated (see EXPERIMENTS.md); "
+          "raise --scale / --dim to push the flattening point outward.")
+
+
+if __name__ == "__main__":
+    main()

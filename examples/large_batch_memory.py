@@ -1,0 +1,57 @@
+"""Large-batch training and the device-memory model (paper Section 6.2.2 / Figure 6).
+
+Run with::
+
+    python examples/large_batch_memory.py
+
+The paper's third contribution is that the sparse formulation's smaller
+intermediate footprint lets memory-limited GPUs train with much larger
+batches.  This example sweeps the batch size, measures the simulated device
+memory of one training step for the sparse and dense TransE formulations (by
+walking the autograd tape and charging every live tensor), and prints the
+largest batch each formulation could fit under a fixed memory budget.
+"""
+
+from repro.baselines import DenseTransE
+from repro.data import TripletBatch, UniformNegativeSampler, make_dataset_like
+from repro.models import SpTransE
+from repro.profiling import measure_training_memory
+
+BUDGET_GB = 2.0            # pretend device capacity
+BATCH_SIZES = [512, 1024, 2048, 4096, 8192, 16384]
+DIM = 256
+
+
+def main() -> None:
+    kg = make_dataset_like("FB15K", scale=0.02, rng=0)
+    sampler = UniformNegativeSampler(kg.n_entities, rng=0)
+    print(f"dataset: {kg}; embedding dim {DIM}; simulated budget {BUDGET_GB} GB\n")
+
+    header = f"{'batch':>7s} {'sparse (GB)':>12s} {'dense (GB)':>12s} {'dense/sparse':>13s}"
+    print(header)
+    print("-" * len(header))
+
+    largest = {"sparse": 0, "dense": 0}
+    for batch_size in BATCH_SIZES:
+        positives = kg.split.train[:batch_size]
+        batch = TripletBatch(positives=positives, negatives=sampler.corrupt(positives))
+        reports = {}
+        for name, cls in (("sparse", SpTransE), ("dense", DenseTransE)):
+            model = cls(kg.n_entities, kg.n_relations, DIM, rng=0)
+            reports[name] = measure_training_memory(model, batch, optimizer="adam")
+            if reports[name].total_gb <= BUDGET_GB:
+                largest[name] = batch_size
+        ratio = reports["dense"].total_bytes / reports["sparse"].total_bytes
+        print(f"{batch_size:7d} {reports['sparse'].total_gb:12.3f} "
+              f"{reports['dense'].total_gb:12.3f} {ratio:13.2f}x")
+
+    print(f"\nlargest batch fitting in {BUDGET_GB} GB:")
+    print(f"  sparse formulation: {largest['sparse']}")
+    print(f"  dense  formulation: {largest['dense']}")
+    print("\nThe sparse path keeps one (2B, d) SpMM output alive per step; the dense")
+    print("path retains the three gathered operand blocks plus their partial sums,")
+    print("which is what caps its usable batch size first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Extending the sparse formulation to non-translational models (paper Appendix D).
+
+Run with::
+
+    python examples/semiring_extension.py
+
+The incidence-matrix structure is model-agnostic: swapping the semiring
+operators of the SpMM turns the same kernel into DistMult (``times_times``),
+ComplEx (complex products), or RotatE (rotation residuals).  This example
+
+1. trains the semiring-based SpDistMult and SpComplEx and their dense
+   gather-based twins on the same data, confirming score parity;
+2. registers a *custom* semiring (a TransE variant that damps the relation
+   contribution) and uses it directly through ``semiring_spmm`` — the
+   extension hook a downstream user would use for a new score function.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines import DenseComplEx, DenseDistMult
+from repro.data import make_dataset_like
+from repro.models import SpComplEx, SpDistMult
+from repro.sparse.semiring import Semiring, register_semiring, semiring_spmm
+from repro.training import Trainer, TrainingConfig
+
+
+def train_and_compare(kg) -> None:
+    config = TrainingConfig(epochs=5, batch_size=2048, learning_rate=0.01, seed=0,
+                            normalize_every=0)
+    pairs = [
+        ("DistMult", SpDistMult, DenseDistMult),
+        ("ComplEx", SpComplEx, DenseComplEx),
+    ]
+    probe = kg.split.train[:512]
+    for name, sparse_cls, dense_cls in pairs:
+        sparse = sparse_cls(kg.n_entities, kg.n_relations, 32, rng=0)
+        dense = dense_cls(kg.n_entities, kg.n_relations, 32, rng=0)
+        sparse_time = Trainer(sparse, kg, config).train().total_time
+        dense_time = Trainer(dense, kg, config).train().total_time
+        print(f"{name:9s}: semiring-SpMM {sparse_time:.2f}s vs dense gather {dense_time:.2f}s")
+
+    # Score parity on identical parameters (the Appendix-D equivalence).
+    sparse = SpDistMult(kg.n_entities, kg.n_relations, 32, rng=1)
+    dense = DenseDistMult(kg.n_entities, kg.n_relations, 32, rng=2)
+    sparse.embeddings.load_pretrained(dense.entity_embeddings.weight.data,
+                                      dense.relation_embeddings.weight.data)
+    gap = np.max(np.abs(sparse.score_triples(probe) - dense.score_triples(probe)))
+    print(f"DistMult semiring vs gather max score gap on {len(probe)} triples: {gap:.2e}")
+
+
+def custom_semiring_demo(kg) -> None:
+    """Register a damped-translation semiring and evaluate it through one SpMM."""
+    damped = Semiring(
+        name="damped_plus_times",
+        combine=lambda h, r, t: h + 0.5 * r - t,
+        grads=lambda h, r, t, g: (g, 0.5 * g, -g),
+    )
+    register_semiring(damped, overwrite=True)
+
+    rng = np.random.default_rng(0)
+    stacked = Tensor(rng.standard_normal((kg.n_entities + kg.n_relations, 16)),
+                     requires_grad=True)
+    batch = kg.split.train[:4096]
+    combined = semiring_spmm(batch, stacked, kg.n_entities, "damped_plus_times")
+    scores = (combined * combined).sum(axis=-1)
+    scores.sum().backward()
+    print(f"custom semiring: scored {len(batch)} triples through one semiring SpMM, "
+          f"gradient norm {np.linalg.norm(stacked.grad):.3f}")
+
+
+def main() -> None:
+    kg = make_dataset_like("WN18", scale=0.02, rng=0)
+    print(f"dataset: {kg}\n")
+    train_and_compare(kg)
+    print()
+    custom_semiring_demo(kg)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments whose setuptools predates
+wheel-less PEP 660 editable installs (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

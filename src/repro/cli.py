@@ -1,0 +1,221 @@
+"""Command-line interface for training and evaluating KGE models.
+
+The paper's artifact ships one training script per (framework, model) pair;
+this CLI folds them into one entry point:
+
+.. code-block:: bash
+
+    # train sparse TransE on a synthetic FB15K-shaped graph at 1% scale
+    sptransx train --model transe --dataset FB15K --scale 0.01 \
+        --epochs 20 --batch-size 2048 --dim 64 --checkpoint /tmp/transe.npz
+
+    # train the dense baseline on a CSV dump
+    sptransx train --model transh --formulation dense --triples-file kg.csv
+
+    # evaluate a checkpoint
+    sptransx evaluate --checkpoint /tmp/transe.npz --dataset FB15K --scale 0.01
+
+    # list datasets / models / SpMM backends
+    sptransx info
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.baselines import DENSE_MODELS
+from repro.data import (
+    KGDataset,
+    load_triples_file,
+    make_dataset_like,
+)
+from repro.data.catalog import PAPER_DATASETS
+from repro.evaluation import evaluate_link_prediction
+from repro.models import SPARSE_MODELS
+from repro.sparse import available_backends
+from repro.training import Trainer, TrainingConfig
+from repro.training.checkpoint import load_checkpoint, restore_into, save_checkpoint
+from repro.training.trainer import build_optimizer
+from repro.utils.logging import enable_console_logging
+
+#: Models that accept a ``relation_dim`` keyword.
+_PROJECTION_MODELS = {"transr"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="sptransx", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a KGE model")
+    _add_data_arguments(train)
+    train.add_argument("--model", default="transe",
+                       choices=sorted(set(SPARSE_MODELS) | set(DENSE_MODELS)))
+    train.add_argument("--formulation", default="sparse", choices=["sparse", "dense"])
+    train.add_argument("--dim", type=int, default=64, help="embedding dimension")
+    train.add_argument("--relation-dim", type=int, default=None,
+                       help="relation-space dimension (TransR only)")
+    train.add_argument("--backend", default="scipy", help="SpMM backend (sparse models)")
+    train.add_argument("--epochs", type=int, default=100)
+    train.add_argument("--batch-size", type=int, default=32768)
+    train.add_argument("--learning-rate", type=float, default=4e-4)
+    train.add_argument("--margin", type=float, default=0.5)
+    train.add_argument("--optimizer", default="adam", choices=["adam", "sgd", "adagrad"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", default=None, help="where to save the trained model")
+    train.add_argument("--resume", default=None, help="checkpoint to resume from")
+    train.add_argument("--eval", action="store_true",
+                       help="run filtered link prediction on the test split after training")
+    train.add_argument("--quiet", action="store_true")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved checkpoint")
+    _add_data_arguments(evaluate)
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("--ks", type=int, nargs="+", default=[1, 3, 10])
+    evaluate.add_argument("--split", default="test", choices=["test", "valid", "train"])
+
+    sub.add_parser("info", help="list datasets, models, and SpMM backends")
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="FB15K",
+                        help="catalog dataset name to synthesise (ignored with --triples-file)")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="down-scaling factor for the synthetic dataset")
+    parser.add_argument("--triples-file", default=None,
+                        help="CSV/TSV/TTL file of labelled triples to load instead")
+    parser.add_argument("--test-fraction", type=float, default=0.05)
+    parser.add_argument("--valid-fraction", type=float, default=0.0)
+    parser.add_argument("--data-seed", type=int, default=0)
+
+
+def _load_dataset(args: argparse.Namespace) -> KGDataset:
+    if args.triples_file:
+        kg = load_triples_file(args.triples_file)
+        if args.test_fraction > 0 or args.valid_fraction > 0:
+            kg = kg.split_train_valid_test(args.valid_fraction, args.test_fraction,
+                                           rng=args.data_seed)
+        return kg
+    return make_dataset_like(args.dataset, scale=args.scale, rng=args.data_seed,
+                             valid_fraction=args.valid_fraction,
+                             test_fraction=args.test_fraction)
+
+
+def _build_model(args: argparse.Namespace, kg: KGDataset):
+    registry = SPARSE_MODELS if args.formulation == "sparse" else DENSE_MODELS
+    if args.model not in registry:
+        raise SystemExit(
+            f"model {args.model!r} has no {args.formulation} implementation; "
+            f"available: {sorted(registry)}"
+        )
+    kwargs = {}
+    if args.model in _PROJECTION_MODELS and args.relation_dim is not None:
+        kwargs["relation_dim"] = args.relation_dim
+    if args.formulation == "sparse" and args.model in ("transe", "transr", "transh", "toruse"):
+        kwargs["backend"] = args.backend
+    cls = registry[args.model]
+    return cls(kg.n_entities, kg.n_relations, args.dim, rng=args.seed, **kwargs)
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        enable_console_logging()
+    kg = _load_dataset(args)
+    model = _build_model(args, kg)
+    config = TrainingConfig(
+        epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.learning_rate,
+        margin=args.margin, optimizer=args.optimizer, seed=args.seed,
+        log_every=0 if args.quiet else max(1, args.epochs // 10),
+    )
+    optimizer = build_optimizer(config.optimizer, model, config.learning_rate)
+    start_epoch = 0
+    if args.resume:
+        checkpoint = load_checkpoint(args.resume)
+        restore_into(checkpoint, model, optimizer)
+        start_epoch = checkpoint.epoch
+        print(f"resumed from {args.resume} at epoch {start_epoch}")
+
+    trainer = Trainer(model, kg, config, optimizer=optimizer)
+    result = trainer.train(epochs=max(args.epochs - start_epoch, 0))
+
+    summary = {
+        "dataset": kg.name,
+        "model": model.config(),
+        "final_loss": result.final_loss,
+        "breakdown_s": result.breakdown(),
+    }
+    print(json.dumps(summary, indent=2, default=float))
+
+    if args.checkpoint:
+        path = save_checkpoint(args.checkpoint, model, optimizer,
+                               epoch=start_epoch + len(result.epochs),
+                               losses=result.losses)
+        print(f"checkpoint written to {path}")
+
+    if args.eval and kg.split.n_test > 0:
+        metrics = evaluate_link_prediction(model, kg.split.test,
+                                           known_triples=kg.known_triples())
+        print(json.dumps({"link_prediction": metrics.to_dict()}, indent=2))
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    kg = _load_dataset(args)
+    checkpoint = load_checkpoint(args.checkpoint)
+    saved = checkpoint.metadata.get("model_config", {})
+    model_name = str(saved.get("model", "")).lower()
+    registry = {**{f"sp{k}": v for k, v in SPARSE_MODELS.items()},
+                **{f"dense{k}": v for k, v in DENSE_MODELS.items()}}
+    cls = registry.get(model_name)
+    if cls is None:
+        raise SystemExit(f"cannot reconstruct model class {saved.get('model')!r}")
+    kwargs = {}
+    if "relation_dim" in saved and saved.get("relation_dim") != saved.get("embedding_dim"):
+        kwargs["relation_dim"] = int(saved["relation_dim"])
+    model = cls(int(saved["n_entities"]), int(saved["n_relations"]),
+                int(saved["embedding_dim"]), rng=0, **kwargs)
+    restore_into(checkpoint, model)
+
+    split = {"test": kg.split.test, "valid": kg.split.valid, "train": kg.split.train}[args.split]
+    if split.shape[0] == 0:
+        raise SystemExit(f"the {args.split!r} split is empty; use --test-fraction > 0")
+    metrics = evaluate_link_prediction(model, split, known_triples=kg.known_triples(),
+                                       ks=args.ks)
+    print(json.dumps(metrics.to_dict(), indent=2))
+    return 0
+
+
+def _command_info(_: argparse.Namespace) -> int:
+    info = {
+        "datasets": {name: {"entities": spec.n_entities, "relations": spec.n_relations,
+                            "triples": spec.n_training_triples}
+                     for name, spec in PAPER_DATASETS.items()},
+        "sparse_models": sorted(SPARSE_MODELS),
+        "dense_models": sorted(DENSE_MODELS),
+        "spmm_backends": available_backends(),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "info":
+        return _command_info(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Minibatch iteration over triples.
+
+The paper pre-generates negatives once per positive outside the training loop
+and then iterates positive/negative pairs in large batches; the
+:class:`BatchIterator` reproduces that protocol (with an option to resample
+negatives every epoch for accuracy-focused runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.negative_sampling import NegativeSampler, UniformNegativeSampler
+from repro.utils.seeding import new_rng
+
+
+@dataclass
+class TripletBatch:
+    """One training minibatch: aligned positive and negative triples."""
+
+    positives: np.ndarray
+    negatives: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.positives.shape != self.negatives.shape:
+            raise ValueError(
+                f"positive and negative batches must align, got "
+                f"{self.positives.shape} and {self.negatives.shape}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of positive triples in the batch."""
+        return int(self.positives.shape[0])
+
+
+class BatchIterator:
+    """Iterate a dataset's training split in shuffled minibatches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset (only the training split is iterated).
+    batch_size:
+        Positives per batch; the final batch may be smaller unless
+        ``drop_last`` is set.
+    sampler:
+        Negative sampler; a :class:`UniformNegativeSampler` is created when
+        omitted.
+    shuffle:
+        Shuffle the triple order every epoch.
+    drop_last:
+        Drop a trailing partial batch.
+    regenerate_negatives:
+        When False (paper protocol) negatives are drawn once and reused every
+        epoch; when True they are resampled per epoch.
+    rng:
+        Seed or generator for shuffling (independent of the sampler's stream).
+    """
+
+    def __init__(
+        self,
+        dataset: KGDataset,
+        batch_size: int,
+        sampler: Optional[NegativeSampler] = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        regenerate_negatives: bool = False,
+        rng=None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.sampler = sampler if sampler is not None else UniformNegativeSampler(
+            dataset.n_entities, rng=rng
+        )
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.regenerate_negatives = bool(regenerate_negatives)
+        self.rng = new_rng(rng)
+        self._cached_negatives: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = self.dataset.n_triples
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def _negatives(self) -> np.ndarray:
+        if self.regenerate_negatives:
+            return self.sampler.corrupt(self.dataset.split.train)
+        if self._cached_negatives is None:
+            self._cached_negatives = self.sampler.corrupt(self.dataset.split.train)
+        return self._cached_negatives
+
+    def __iter__(self) -> Iterator[TripletBatch]:
+        positives = self.dataset.split.train
+        negatives = self._negatives()
+        order = (self.rng.permutation(positives.shape[0])
+                 if self.shuffle else np.arange(positives.shape[0]))
+        for start in range(0, positives.shape[0], self.batch_size):
+            stop = start + self.batch_size
+            if stop > positives.shape[0] and self.drop_last:
+                break
+            idx = order[start:stop]
+            yield TripletBatch(positives=positives[idx], negatives=negatives[idx])

@@ -1,0 +1,86 @@
+"""Catalog of the paper's benchmark datasets (Table 3 and Appendix F).
+
+The real dumps cannot be downloaded in this environment, so the catalog stores
+the published statistics and the synthetic generator emits graphs with the
+same entity / relation / triple counts (optionally scaled down for fast runs).
+Training-time and memory behaviour depend only on these counts, not on the
+semantic content of the triples, so the catalog is what keeps the reproduction
+faithful to the paper's workload sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier as used in the paper.
+    n_entities, n_relations, n_training_triples:
+        Values from Table 3 (and Table 9 for COVID-19).
+    """
+
+    name: str
+    n_entities: int
+    n_relations: int
+    n_training_triples: int
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Return a proportionally smaller spec (``0 < scale <= 1``).
+
+        Entity/relation counts shrink with the square root of the scale so the
+        incidence-matrix aspect ratio (triples per entity) stays roughly
+        constant, which is what the training-time behaviour depends on.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+        import math
+
+        sqrt_scale = math.sqrt(scale)
+        return DatasetSpec(
+            name=f"{self.name}-x{scale:g}",
+            n_entities=max(16, int(round(self.n_entities * sqrt_scale))),
+            n_relations=max(2, int(round(self.n_relations * sqrt_scale))),
+            n_training_triples=max(64, int(round(self.n_training_triples * scale))),
+        )
+
+
+#: Table 3 of the paper plus the Appendix-F COVID-19 dataset.
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    "FB15K": DatasetSpec("FB15K", 14951, 1345, 483142),
+    "FB15K237": DatasetSpec("FB15K237", 14541, 237, 272115),
+    "WN18": DatasetSpec("WN18", 40943, 18, 141442),
+    "WN18RR": DatasetSpec("WN18RR", 40943, 11, 86835),
+    "FB13": DatasetSpec("FB13", 67399, 15342, 316232),
+    "YAGO3-10": DatasetSpec("YAGO3-10", 123182, 37, 1079040),
+    "BIOKG": DatasetSpec("BIOKG", 93773, 51, 4762678),
+    "COVID19": DatasetSpec("COVID19", 60820, 62, 1032939),
+}
+
+#: The seven datasets the headline experiments (Figures 7-8, Tables 5-7) average over.
+BENCHMARK_DATASETS = (
+    "FB15K",
+    "FB15K237",
+    "WN18",
+    "WN18RR",
+    "FB13",
+    "YAGO3-10",
+    "BIOKG",
+)
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.upper().replace("-", "").replace("_", "")
+    for spec_name, spec in PAPER_DATASETS.items():
+        if spec_name.upper().replace("-", "").replace("_", "") == key:
+            return spec
+    raise KeyError(f"unknown dataset {name!r}; available: {sorted(PAPER_DATASETS)}")

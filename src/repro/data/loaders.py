@@ -1,0 +1,164 @@
+"""File loaders for the standard knowledge-graph interchange formats.
+
+The paper's dataloader module ingests CSV, TTL, and RDF files (and Neo4j
+exports); these loaders cover the same file formats and return a
+:class:`~repro.data.dataset.KGDataset` with label vocabularies attached.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.data.dataset import KGDataset
+
+LabeledTriple = Tuple[str, str, str]
+
+
+def _read_delimited(path: str, delimiter: str,
+                    columns: Tuple[int, int, int],
+                    skip_header: bool) -> Iterator[LabeledTriple]:
+    h_col, r_col, t_col = columns
+    max_col = max(columns)
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for line_no, row in enumerate(reader):
+            if skip_header and line_no == 0:
+                continue
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) <= max_col:
+                raise ValueError(
+                    f"{path}:{line_no + 1}: expected at least {max_col + 1} columns, "
+                    f"got {len(row)}"
+                )
+            yield (row[h_col].strip(), row[r_col].strip(), row[t_col].strip())
+
+
+def load_csv(path: str, delimiter: str = ",",
+             columns: Tuple[int, int, int] = (0, 1, 2),
+             skip_header: bool = False,
+             name: Optional[str] = None) -> KGDataset:
+    """Load ``head, relation, tail`` triples from a delimited text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    delimiter:
+        Field separator (``","`` for CSV, ``"\\t"`` for TSV).
+    columns:
+        Zero-based column indices of head, relation, and tail.
+    skip_header:
+        Skip the first line when it is a header row.
+    name:
+        Dataset name; defaults to the file's base name.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    triples = list(_read_delimited(path, delimiter, columns, skip_header))
+    if not triples:
+        raise ValueError(f"no triples found in {path}")
+    return KGDataset.from_labeled_triples(
+        triples, name=name or os.path.splitext(os.path.basename(path))[0]
+    )
+
+
+def load_tsv(path: str, columns: Tuple[int, int, int] = (0, 1, 2),
+             skip_header: bool = False, name: Optional[str] = None) -> KGDataset:
+    """Load a tab-separated triple file (the format FB15K/WN18 dumps use)."""
+    return load_csv(path, delimiter="\t", columns=columns,
+                    skip_header=skip_header, name=name)
+
+
+def _strip_term(term: str) -> str:
+    term = term.strip()
+    if term.startswith("<") and term.endswith(">"):
+        return term[1:-1]
+    if term.startswith('"'):
+        # Drop the closing quote and any datatype/language tag.
+        closing = term.rfind('"')
+        return term[1:closing]
+    return term
+
+
+def parse_ttl_lines(lines: Iterable[str]) -> Iterator[LabeledTriple]:
+    """Parse simple N-Triples / Turtle statements of the form ``s p o .``.
+
+    Supports ``@prefix`` declarations, comments, and the ``;`` / ``,``
+    same-subject shorthand.  Blank nodes and multi-line literals are out of
+    scope (the benchmark KG dumps do not use them).
+    """
+    prefixes = {}
+    pending_subject: Optional[str] = None
+    pending_predicate: Optional[str] = None
+
+    def expand(term: str) -> str:
+        term = _strip_term(term)
+        if ":" in term and not term.startswith("http"):
+            prefix, _, local = term.partition(":")
+            if prefix in prefixes:
+                return prefixes[prefix] + local
+        return term
+
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower().startswith("@prefix"):
+            parts = line.rstrip(" .").split()
+            if len(parts) >= 3:
+                prefixes[parts[1].rstrip(":")] = _strip_term(parts[2])
+            continue
+        terminator = None
+        if line.endswith("."):
+            terminator = "."
+        elif line.endswith(";"):
+            terminator = ";"
+        elif line.endswith(","):
+            terminator = ","
+        body = line.rstrip(".;,").strip()
+        tokens = body.split(None, 2) if pending_subject is None else body.split(None, 1)
+        if pending_subject is None:
+            if len(tokens) < 3:
+                raise ValueError(f"malformed TTL statement: {raw!r}")
+            subject, predicate, obj = tokens
+        elif pending_predicate is not None and len(tokens) == 1:
+            subject, predicate, obj = pending_subject, pending_predicate, tokens[0]
+        else:
+            if len(tokens) < 2:
+                raise ValueError(f"malformed TTL continuation: {raw!r}")
+            subject, (predicate, obj) = pending_subject, tokens
+        yield (expand(subject), expand(predicate), expand(obj))
+        if terminator == ";":
+            pending_subject, pending_predicate = subject, None
+        elif terminator == ",":
+            pending_subject, pending_predicate = subject, predicate
+        else:
+            pending_subject, pending_predicate = None, None
+
+
+def load_ttl(path: str, name: Optional[str] = None) -> KGDataset:
+    """Load triples from a Turtle / N-Triples file."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        triples: List[LabeledTriple] = list(parse_ttl_lines(handle))
+    if not triples:
+        raise ValueError(f"no triples found in {path}")
+    return KGDataset.from_labeled_triples(
+        triples, name=name or os.path.splitext(os.path.basename(path))[0]
+    )
+
+
+def load_triples_file(path: str, name: Optional[str] = None) -> KGDataset:
+    """Dispatch on file extension: ``.csv``, ``.tsv``/``.txt``, ``.ttl``/``.nt``."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".csv":
+        return load_csv(path, name=name)
+    if ext in (".tsv", ".txt"):
+        return load_tsv(path, name=name)
+    if ext in (".ttl", ".nt", ".rdf"):
+        return load_ttl(path, name=name)
+    raise ValueError(f"unsupported file extension {ext!r} for {path}")

@@ -1,0 +1,187 @@
+"""SQLite-backed knowledge-graph store.
+
+The paper's streaming dataloader converts large KG files into an SQLite
+database holding the entity/relation index mapping plus the triplets, then
+streams minibatches out of it.  This class provides that store: ingest a
+:class:`~repro.data.dataset.KGDataset` (or labelled triples), query counts,
+and iterate triples in fixed-size batches without materialising the whole
+table in memory.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.data.vocab import Vocabulary
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entities (
+    id INTEGER PRIMARY KEY,
+    label TEXT UNIQUE NOT NULL
+);
+CREATE TABLE IF NOT EXISTS relations (
+    id INTEGER PRIMARY KEY,
+    label TEXT UNIQUE NOT NULL
+);
+CREATE TABLE IF NOT EXISTS triples (
+    rowid INTEGER PRIMARY KEY AUTOINCREMENT,
+    head INTEGER NOT NULL,
+    relation INTEGER NOT NULL,
+    tail INTEGER NOT NULL,
+    split TEXT NOT NULL DEFAULT 'train'
+);
+CREATE INDEX IF NOT EXISTS idx_triples_split ON triples(split);
+"""
+
+
+class SQLiteKGStore:
+    """Persistent triple store with streaming batch iteration.
+
+    Parameters
+    ----------
+    path:
+        Database file; ``":memory:"`` keeps everything in RAM (tests).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest_dataset(self, dataset: KGDataset) -> None:
+        """Store every split of ``dataset`` (labels fall back to index strings)."""
+        ent_labels = (
+            list(dataset.entity_vocab)
+            if dataset.entity_vocab is not None
+            else [f"entity_{i}" for i in range(dataset.n_entities)]
+        )
+        rel_labels = (
+            list(dataset.relation_vocab)
+            if dataset.relation_vocab is not None
+            else [f"relation_{i}" for i in range(dataset.n_relations)]
+        )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO entities (id, label) VALUES (?, ?)",
+                list(enumerate(ent_labels)),
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO relations (id, label) VALUES (?, ?)",
+                list(enumerate(rel_labels)),
+            )
+            for split_name, triples in (
+                ("train", dataset.split.train),
+                ("valid", dataset.split.valid),
+                ("test", dataset.split.test),
+            ):
+                if triples.size == 0:
+                    continue
+                self._conn.executemany(
+                    "INSERT INTO triples (head, relation, tail, split) VALUES (?, ?, ?, ?)",
+                    [(int(h), int(r), int(t), split_name) for h, r, t in triples],
+                )
+
+    def ingest_labeled_triples(self, labeled: Iterable[Tuple[str, str, str]],
+                               split: str = "train") -> None:
+        """Insert labelled triples, growing the entity/relation tables as needed."""
+        with self._conn:
+            for head, relation, tail in labeled:
+                h = self._get_or_create("entities", head)
+                r = self._get_or_create("relations", relation)
+                t = self._get_or_create("entities", tail)
+                self._conn.execute(
+                    "INSERT INTO triples (head, relation, tail, split) VALUES (?, ?, ?, ?)",
+                    (h, r, t, split),
+                )
+
+    def _get_or_create(self, table: str, label: str) -> int:
+        row = self._conn.execute(
+            f"SELECT id FROM {table} WHERE label = ?", (label,)
+        ).fetchone()
+        if row is not None:
+            return int(row[0])
+        count = self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        self._conn.execute(f"INSERT INTO {table} (id, label) VALUES (?, ?)", (count, label))
+        return int(count)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_entities(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM entities").fetchone()[0])
+
+    @property
+    def n_relations(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM relations").fetchone()[0])
+
+    def n_triples(self, split: Optional[str] = "train") -> int:
+        if split is None:
+            return int(self._conn.execute("SELECT COUNT(*) FROM triples").fetchone()[0])
+        return int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM triples WHERE split = ?", (split,)
+            ).fetchone()[0]
+        )
+
+    def entity_vocabulary(self) -> Vocabulary:
+        rows = self._conn.execute("SELECT label FROM entities ORDER BY id").fetchall()
+        return Vocabulary(label for (label,) in rows)
+
+    def relation_vocabulary(self) -> Vocabulary:
+        rows = self._conn.execute("SELECT label FROM relations ORDER BY id").fetchall()
+        return Vocabulary(label for (label,) in rows)
+
+    def iter_batches(self, batch_size: int, split: str = "train") -> Iterator[np.ndarray]:
+        """Stream ``(batch, 3)`` triple arrays without loading the whole table."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        cursor = self._conn.execute(
+            "SELECT head, relation, tail FROM triples WHERE split = ? ORDER BY rowid",
+            (split,),
+        )
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                break
+            yield np.asarray(rows, dtype=np.int64)
+
+    def to_dataset(self, name: Optional[str] = None) -> KGDataset:
+        """Materialise the store back into an in-memory :class:`KGDataset`."""
+        from repro.data.dataset import TripleSplit
+
+        def fetch(split: str) -> np.ndarray:
+            rows = self._conn.execute(
+                "SELECT head, relation, tail FROM triples WHERE split = ? ORDER BY rowid",
+                (split,),
+            ).fetchall()
+            return (np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+                    if rows else np.empty((0, 3), dtype=np.int64))
+
+        return KGDataset(
+            n_entities=self.n_entities,
+            n_relations=self.n_relations,
+            entity_vocab=self.entity_vocabulary().freeze(),
+            relation_vocab=self.relation_vocabulary().freeze(),
+            name=name or (os.path.basename(self.path) if self.path != ":memory:" else "sqlite"),
+            split=TripleSplit(train=fetch("train"), valid=fetch("valid"), test=fetch("test")),
+        )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteKGStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

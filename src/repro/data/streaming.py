@@ -1,0 +1,67 @@
+"""Streaming minibatch iteration backed by the SQLite store.
+
+The paper's dataloader module streams minibatches out of an SQLite
+representation when the triple list is too large for memory.  This module
+provides that path end to end: a :class:`StreamingBatchIterator` pulls
+fixed-size positive batches from a :class:`~repro.data.sqlite_store.SQLiteKGStore`
+cursor, corrupts them on the fly with any negative sampler, and yields the
+same :class:`~repro.data.batching.TripletBatch` objects the in-memory iterator
+produces — so the trainer does not care which side it is fed from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.batching import TripletBatch
+from repro.data.negative_sampling import NegativeSampler, UniformNegativeSampler
+from repro.data.sqlite_store import SQLiteKGStore
+from repro.utils.seeding import new_rng
+
+
+class StreamingBatchIterator:
+    """Iterate positive/negative batches straight out of an SQLite store.
+
+    Parameters
+    ----------
+    store:
+        The SQLite-backed knowledge graph.
+    batch_size:
+        Positives per batch (the final batch of an epoch may be smaller).
+    sampler:
+        Negative sampler; a uniform sampler over the store's entity count is
+        created when omitted.
+    split:
+        Which split to stream (``"train"`` by default).
+    drop_last:
+        Drop a trailing partial batch.
+    """
+
+    def __init__(self, store: SQLiteKGStore, batch_size: int,
+                 sampler: Optional[NegativeSampler] = None, split: str = "train",
+                 drop_last: bool = False, rng=None) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.store = store
+        self.batch_size = int(batch_size)
+        self.split = split
+        self.drop_last = bool(drop_last)
+        self.sampler = sampler if sampler is not None else UniformNegativeSampler(
+            max(store.n_entities, 2), rng=new_rng(rng)
+        )
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = self.store.n_triples(self.split)
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def __iter__(self) -> Iterator[TripletBatch]:
+        for positives in self.store.iter_batches(self.batch_size, split=self.split):
+            if self.drop_last and positives.shape[0] < self.batch_size:
+                break
+            yield TripletBatch(positives=positives,
+                               negatives=self.sampler.corrupt(positives))

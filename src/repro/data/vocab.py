@@ -1,0 +1,83 @@
+"""Label <-> index vocabulary for entities and relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """A bidirectional mapping between string labels and contiguous indices.
+
+    Parameters
+    ----------
+    labels:
+        Optional initial labels, assigned indices in iteration order.
+    frozen:
+        When True, :meth:`add` raises instead of growing the vocabulary.
+    """
+
+    def __init__(self, labels: Optional[Iterable[str]] = None, frozen: bool = False) -> None:
+        self._label_to_index: Dict[str, int] = {}
+        self._index_to_label: List[str] = []
+        self.frozen = False
+        if labels is not None:
+            for label in labels:
+                self.add(label)
+        self.frozen = bool(frozen)
+
+    def add(self, label: str) -> int:
+        """Insert ``label`` (if new) and return its index."""
+        if not isinstance(label, str):
+            label = str(label)
+        existing = self._label_to_index.get(label)
+        if existing is not None:
+            return existing
+        if self.frozen:
+            raise KeyError(f"vocabulary is frozen; unknown label {label!r}")
+        index = len(self._index_to_label)
+        self._label_to_index[label] = index
+        self._index_to_label.append(label)
+        return index
+
+    def index(self, label: str) -> int:
+        """Return the index of ``label`` (raises ``KeyError`` if absent)."""
+        return self._label_to_index[str(label)]
+
+    def label(self, index: int) -> str:
+        """Return the label stored at ``index``."""
+        return self._index_to_label[index]
+
+    def freeze(self) -> "Vocabulary":
+        """Prevent further growth (useful after building the training vocab)."""
+        self.frozen = True
+        return self
+
+    def __contains__(self, label: str) -> bool:
+        return str(label) in self._label_to_index
+
+    def __len__(self) -> int:
+        return len(self._index_to_label)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index_to_label)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._index_to_label == other._index_to_label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vocabulary(size={len(self)}, frozen={self.frozen})"
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a copy of the label -> index mapping."""
+        return dict(self._label_to_index)
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[str, int]) -> "Vocabulary":
+        """Rebuild from a label -> index mapping (indices must be 0..n-1)."""
+        items = sorted(mapping.items(), key=lambda kv: kv[1])
+        indices = [idx for _, idx in items]
+        if indices != list(range(len(indices))):
+            raise ValueError("indices must be contiguous and start at 0")
+        return cls(label for label, _ in items)

@@ -1,0 +1,28 @@
+"""Evaluation protocols: link prediction (MR / MRR / Hits@k) and triple classification."""
+
+from repro.evaluation.ranks import compute_ranks, RankingProtocol
+from repro.evaluation.link_prediction import (
+    LinkPredictionResult,
+    evaluate_link_prediction,
+)
+from repro.evaluation.classification import (
+    TripleClassificationResult,
+    evaluate_triple_classification,
+)
+from repro.evaluation.relation_categories import (
+    CategoryBreakdown,
+    classify_relations,
+    evaluate_by_relation_category,
+)
+
+__all__ = [
+    "compute_ranks",
+    "RankingProtocol",
+    "LinkPredictionResult",
+    "evaluate_link_prediction",
+    "TripleClassificationResult",
+    "evaluate_triple_classification",
+    "CategoryBreakdown",
+    "classify_relations",
+    "evaluate_by_relation_category",
+]

@@ -1,0 +1,125 @@
+"""Link-prediction evaluation (MR, MRR, Hits@k; raw and filtered).
+
+The paper reports filtered Hits@10 (Figure 5, Section 6.2.5, Appendix E); the
+evaluator here ranks both directions (replace-head and replace-tail) and
+averages, the standard protocol of Bordes et al. (2013).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.evaluation.ranks import (
+    RankingProtocol,
+    compute_ranks,
+    hits_at_k,
+    mean_rank,
+    mean_reciprocal_rank,
+)
+from repro.models.base import KGEModel
+from repro.utils.validation import check_triples
+
+
+@dataclass
+class LinkPredictionResult:
+    """Aggregated link-prediction metrics."""
+
+    mean_rank: float
+    mrr: float
+    hits: Dict[int, float]
+    protocol: str = RankingProtocol.FILTERED.value
+    head_ranks: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    tail_ranks: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+
+    def hits_at(self, k: int) -> float:
+        """Convenience accessor for ``hits[k]``."""
+        return self.hits[k]
+
+    def to_dict(self) -> Dict[str, float]:
+        out = {"mean_rank": self.mean_rank, "mrr": self.mrr}
+        out.update({f"hits@{k}": v for k, v in self.hits.items()})
+        return out
+
+
+def _build_filters(
+    triples: np.ndarray,
+    known_triples: Set[Tuple[int, int, int]],
+    mode: str,
+) -> list:
+    """Per-query arrays of entity indices that must be excluded from ranking."""
+    by_query: Dict[Tuple[int, int], list] = {}
+    for h, r, t in known_triples:
+        if mode == "tail":
+            by_query.setdefault((h, r), []).append(t)
+        else:
+            by_query.setdefault((t, r), []).append(h)
+    filters = []
+    for h, r, t in triples.tolist():
+        key = (h, r) if mode == "tail" else (t, r)
+        filters.append(np.asarray(by_query.get(key, []), dtype=np.int64))
+    return filters
+
+
+def evaluate_link_prediction(
+    model: KGEModel,
+    triples: np.ndarray,
+    known_triples: Optional[Set[Tuple[int, int, int]]] = None,
+    ks: Sequence[int] = (1, 3, 10),
+    protocol: RankingProtocol = RankingProtocol.FILTERED,
+    batch_size: int = 64,
+) -> LinkPredictionResult:
+    """Evaluate link prediction on ``triples``.
+
+    Parameters
+    ----------
+    model:
+        Trained model exposing ``score_all_tails`` / ``score_all_heads``.
+    triples:
+        Evaluation triples ``(B, 3)``.
+    known_triples:
+        Full set of known positives (train+valid+test) used by the filtered
+        protocol; required when ``protocol`` is FILTERED.
+    ks:
+        Hits@k cutoffs.
+    protocol:
+        RAW or FILTERED ranking.
+    batch_size:
+        Queries ranked per chunk (bounds the ``(B, n_entities)`` score block).
+    """
+    triples = check_triples(triples, n_entities=model.n_entities,
+                            n_relations=model.n_relations)
+    protocol = RankingProtocol(protocol)
+    if protocol is RankingProtocol.FILTERED and known_triples is None:
+        raise ValueError("filtered evaluation requires known_triples")
+
+    head_rank_chunks = []
+    tail_rank_chunks = []
+    for start in range(0, triples.shape[0], batch_size):
+        chunk = triples[start:start + batch_size]
+        heads, rels, tails = chunk[:, 0], chunk[:, 1], chunk[:, 2]
+
+        tail_scores = model.score_all_tails(heads, rels)
+        tail_filters = (_build_filters(chunk, known_triples, "tail")
+                        if protocol is RankingProtocol.FILTERED else None)
+        tail_rank_chunks.append(compute_ranks(tail_scores, tails, tail_filters))
+
+        head_scores = model.score_all_heads(rels, tails)
+        head_filters = (_build_filters(chunk, known_triples, "head")
+                        if protocol is RankingProtocol.FILTERED else None)
+        head_rank_chunks.append(compute_ranks(head_scores, heads, head_filters))
+
+    tail_ranks = np.concatenate(tail_rank_chunks) if tail_rank_chunks else np.empty(0)
+    head_ranks = np.concatenate(head_rank_chunks) if head_rank_chunks else np.empty(0)
+    all_ranks = np.concatenate([tail_ranks, head_ranks])
+
+    return LinkPredictionResult(
+        mean_rank=mean_rank(all_ranks),
+        mrr=mean_reciprocal_rank(all_ranks),
+        hits={int(k): hits_at_k(all_ranks, int(k)) for k in ks},
+        protocol=protocol.value,
+        head_ranks=head_ranks,
+        tail_ranks=tail_ranks,
+    )

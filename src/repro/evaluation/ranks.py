@@ -1,0 +1,95 @@
+"""Ranking utilities shared by the link-prediction evaluator."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+
+class RankingProtocol(str, Enum):
+    """Raw vs filtered ranking (Bordes et al., 2013 terminology).
+
+    ``FILTERED`` removes every *other* known-positive candidate from the
+    ranking before locating the true entity, so a model is not penalised for
+    ranking another correct answer above the query answer.
+    """
+
+    RAW = "raw"
+    FILTERED = "filtered"
+
+
+def compute_ranks(
+    candidate_scores: np.ndarray,
+    true_indices: np.ndarray,
+    filter_indices: Optional[Iterable[np.ndarray]] = None,
+) -> np.ndarray:
+    """Rank of the true entity within each row of candidate scores.
+
+    Parameters
+    ----------
+    candidate_scores:
+        ``(B, N)`` dissimilarities — smaller is better.
+    true_indices:
+        ``(B,)`` index of the true entity per row.
+    filter_indices:
+        Optional per-row arrays of candidate indices to exclude (other known
+        positives).  The true entity itself is never excluded.
+
+    Returns
+    -------
+    ``(B,)`` integer ranks, 1-based (rank 1 = best).  Ties are resolved
+    optimistically for candidates strictly better than the target and count
+    ties at the target's score as half (the "realistic" convention), which
+    avoids both over- and under-crediting degenerate constant scorers.
+    """
+    scores = np.asarray(candidate_scores, dtype=np.float64)
+    true_indices = np.asarray(true_indices, dtype=np.int64).reshape(-1)
+    if scores.ndim != 2 or scores.shape[0] != true_indices.shape[0]:
+        raise ValueError(
+            f"candidate_scores must be (B, N) aligned with true_indices, got "
+            f"{scores.shape} and {true_indices.shape}"
+        )
+    b, n = scores.shape
+    if true_indices.size and (true_indices.min() < 0 or true_indices.max() >= n):
+        raise IndexError("true index out of candidate range")
+
+    working = scores.copy()
+    if filter_indices is not None:
+        filter_list = list(filter_indices)
+        if len(filter_list) != b:
+            raise ValueError("filter_indices must provide one array per row")
+        for row, exclude in enumerate(filter_list):
+            if exclude is None or len(exclude) == 0:
+                continue
+            exclude = np.asarray(exclude, dtype=np.int64)
+            exclude = exclude[exclude != true_indices[row]]
+            working[row, exclude] = np.inf
+
+    target = working[np.arange(b), true_indices]
+    better = (working < target[:, None]).sum(axis=1)
+    ties = (working == target[:, None]).sum(axis=1) - 1  # exclude the target itself
+    return (better + ties / 2.0 + 1).astype(np.float64)
+
+
+def hits_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of ranks that are <= k."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if ranks.size == 0:
+        return float("nan")
+    return float((ranks <= k).mean())
+
+
+def mean_rank(ranks: np.ndarray) -> float:
+    """Arithmetic mean of the ranks."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return float(ranks.mean()) if ranks.size else float("nan")
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """Mean of 1/rank."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return float((1.0 / ranks).mean()) if ranks.size else float("nan")

@@ -1,0 +1,130 @@
+"""Relation-category analysis: 1-to-1 / 1-to-N / N-to-1 / N-to-N breakdown.
+
+The TransH and TransR papers (whose models SparseTransX accelerates) analyse
+link-prediction quality per relation *mapping category*, because translation
+models fail in characteristic ways on 1-to-N and N-to-N relations.  This
+module classifies relations by their average tails-per-head / heads-per-tail
+statistics (threshold 1.5, the convention from Bordes et al., 2013) and splits
+any link-prediction result along those categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.dataset import KGDataset
+from repro.evaluation.link_prediction import LinkPredictionResult, evaluate_link_prediction
+from repro.evaluation.ranks import hits_at_k, mean_rank, mean_reciprocal_rank
+from repro.models.base import KGEModel
+from repro.utils.validation import check_triples
+
+#: The classification threshold of Bordes et al. (2013).
+CATEGORY_THRESHOLD = 1.5
+
+CATEGORIES = ("1-1", "1-N", "N-1", "N-N")
+
+
+def classify_relations(dataset: KGDataset, threshold: float = CATEGORY_THRESHOLD
+                       ) -> Dict[int, str]:
+    """Assign every relation to one of ``1-1``, ``1-N``, ``N-1``, ``N-N``.
+
+    A relation is "1-to-N" when its average number of tails per (head,
+    relation) pair exceeds ``threshold`` while heads per (relation, tail) does
+    not, and symmetrically for "N-to-1"; relations exceeding the threshold in
+    both directions are "N-to-N".  Relations absent from the training split
+    default to "1-1".
+    """
+    triples = dataset.split.train
+    categories: Dict[int, str] = {}
+    for relation in range(dataset.n_relations):
+        rel_triples = triples[triples[:, 1] == relation]
+        if rel_triples.shape[0] == 0:
+            categories[relation] = "1-1"
+            continue
+        heads = rel_triples[:, 0]
+        tails = rel_triples[:, 2]
+        tails_per_head = rel_triples.shape[0] / max(len(np.unique(heads)), 1)
+        heads_per_tail = rel_triples.shape[0] / max(len(np.unique(tails)), 1)
+        one_to_n = tails_per_head > threshold
+        n_to_one = heads_per_tail > threshold
+        if one_to_n and n_to_one:
+            categories[relation] = "N-N"
+        elif one_to_n:
+            categories[relation] = "1-N"
+        elif n_to_one:
+            categories[relation] = "N-1"
+        else:
+            categories[relation] = "1-1"
+    return categories
+
+
+@dataclass
+class CategoryBreakdown:
+    """Link-prediction metrics split by relation mapping category."""
+
+    per_category: Dict[str, Dict[str, float]]
+    counts: Dict[str, int]
+    overall: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "per_category": self.per_category,
+            "counts": self.counts,
+            "overall": self.overall,
+        }
+
+
+def evaluate_by_relation_category(
+    model: KGEModel,
+    dataset: KGDataset,
+    triples: Optional[np.ndarray] = None,
+    ks: Sequence[int] = (1, 3, 10),
+    known_triples: Optional[Set[Tuple[int, int, int]]] = None,
+    batch_size: int = 64,
+    threshold: float = CATEGORY_THRESHOLD,
+) -> CategoryBreakdown:
+    """Filtered link prediction broken down by relation category.
+
+    Parameters
+    ----------
+    model:
+        Trained model.
+    dataset:
+        Dataset providing the training statistics (for the classification) and,
+        by default, the filter set and the test triples.
+    triples:
+        Evaluation triples; defaults to the dataset's test split.
+    """
+    triples = dataset.split.test if triples is None else triples
+    triples = check_triples(triples, n_entities=model.n_entities,
+                            n_relations=model.n_relations)
+    if triples.shape[0] == 0:
+        raise ValueError("no evaluation triples provided")
+    known = known_triples if known_triples is not None else dataset.known_triples()
+    result = evaluate_link_prediction(model, triples, known_triples=known, ks=ks,
+                                      batch_size=batch_size)
+
+    categories = classify_relations(dataset, threshold=threshold)
+    labels = np.array([categories[int(r)] for r in triples[:, 1]])
+    # head_ranks/tail_ranks are aligned with the evaluation triples.
+    per_category: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for category in CATEGORIES:
+        mask = labels == category
+        counts[category] = int(mask.sum())
+        if not mask.any():
+            continue
+        ranks = np.concatenate([result.tail_ranks[mask], result.head_ranks[mask]])
+        per_category[category] = {
+            "mean_rank": mean_rank(ranks),
+            "mrr": mean_reciprocal_rank(ranks),
+            **{f"hits@{k}": hits_at_k(ranks, int(k)) for k in ks},
+        }
+    return CategoryBreakdown(
+        per_category=per_category,
+        counts=counts,
+        overall=result.to_dict(),
+    )

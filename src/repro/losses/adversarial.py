@@ -1,0 +1,66 @@
+"""Self-adversarial negative-sampling loss (RotatE-style).
+
+Included because the paper's Appendix D extends the sparse formulation to
+RotatE; the canonical RotatE recipe weights negative samples by a softmax over
+their own scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+def self_adversarial_loss(positive_scores: Tensor, negative_scores: Tensor,
+                          margin: float = 6.0, temperature: float = 1.0) -> Tensor:
+    """Self-adversarial loss over dissimilarity scores.
+
+    ``L = −log σ(γ − d_pos) − Σ_i w_i · log σ(d_neg_i − γ)`` where the weights
+    ``w_i`` are a softmax of ``−d_neg_i / T`` treated as constants (gradients
+    do not flow through the weighting, matching the original RotatE recipe).
+
+    Parameters
+    ----------
+    positive_scores:
+        Dissimilarities of positive triplets, shape ``(B,)``.
+    negative_scores:
+        Dissimilarities of negatives, shape ``(B,)`` or ``(B, K)``.
+    margin:
+        The γ offset.
+    temperature:
+        Softmax temperature for the adversarial weights.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    pos_term = -ops.logsigmoid(Tensor(np.array(margin)) - positive_scores)
+
+    neg = negative_scores
+    if neg.ndim == 1:
+        neg = neg.reshape(neg.shape[0], 1)
+    # Adversarial weights are computed on detached scores.
+    logits = -neg.data / temperature
+    logits = logits - logits.max(axis=1, keepdims=True)
+    weights = np.exp(logits)
+    weights /= weights.sum(axis=1, keepdims=True)
+    neg_term = -(Tensor(weights) * ops.logsigmoid(neg - margin)).sum(axis=1)
+    return (pos_term + neg_term).mean()
+
+
+class SelfAdversarialLoss(Module):
+    """Module wrapper around :func:`self_adversarial_loss`."""
+
+    def __init__(self, margin: float = 6.0, temperature: float = 1.0) -> None:
+        super().__init__()
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.margin = float(margin)
+        self.temperature = float(temperature)
+
+    def forward(self, positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+        return self_adversarial_loss(positive_scores, negative_scores,
+                                     margin=self.margin, temperature=self.temperature)

@@ -1,0 +1,42 @@
+"""Binary cross-entropy with logits over triplet plausibility scores."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+def bce_with_logits_loss(logits: Tensor, targets: np.ndarray,
+                         reduction: str = "mean") -> Tensor:
+    """Numerically-stable BCE: ``softplus(x) − x·y`` per element.
+
+    ``logits`` are *plausibility* scores (larger = more plausible); callers
+    using dissimilarity scores should negate them first.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
+    raw = ops.softplus(logits) - logits * Tensor(targets)
+    if reduction == "mean":
+        return raw.mean()
+    if reduction == "sum":
+        return raw.sum()
+    if reduction == "none":
+        return raw
+    raise ValueError(f"reduction must be 'mean', 'sum', or 'none', got {reduction!r}")
+
+
+class BCEWithLogitsLoss(Module):
+    """Module wrapper around :func:`bce_with_logits_loss`."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"invalid reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return bce_with_logits_loss(logits, targets, reduction=self.reduction)

@@ -1,0 +1,38 @@
+"""Logistic (softplus) loss over labelled triplet scores."""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+def logistic_loss(positive_scores: Tensor, negative_scores: Tensor,
+                  reduction: str = "mean") -> Tensor:
+    """``softplus(pos) + softplus(−neg)`` for dissimilarity-style scores.
+
+    Positive triplets should have small dissimilarity, negatives large; the
+    logistic loss is the smooth alternative to the margin loss offered by
+    OpenKE/PyKEEN-style frameworks.
+    """
+    raw = ops.softplus(positive_scores) + ops.softplus(-negative_scores)
+    if reduction == "mean":
+        return raw.mean()
+    if reduction == "sum":
+        return raw.sum()
+    if reduction == "none":
+        return raw
+    raise ValueError(f"reduction must be 'mean', 'sum', or 'none', got {reduction!r}")
+
+
+class LogisticLoss(Module):
+    """Module wrapper around :func:`logistic_loss`."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"invalid reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+        return logistic_loss(positive_scores, negative_scores, reduction=self.reduction)

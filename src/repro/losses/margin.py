@@ -1,0 +1,64 @@
+"""Margin ranking loss — the training objective used throughout the paper."""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+def margin_ranking_loss(positive_scores: Tensor, negative_scores: Tensor,
+                        margin: float = 0.5, reduction: str = "mean") -> Tensor:
+    """``max(0, margin + score(pos) − score(neg))`` averaged over the batch.
+
+    Translational scores are *dissimilarities* (smaller is better), so the
+    loss pushes positive scores at least ``margin`` below negative ones —
+    identical to TorchKGE's ``MarginLoss`` convention used in the experiments.
+
+    Parameters
+    ----------
+    positive_scores, negative_scores:
+        Tensors of shape ``(B,)`` with matching lengths.
+    margin:
+        Separation margin (the paper uses 0.5).
+    reduction:
+        ``"mean"``, ``"sum"``, or ``"none"``.
+    """
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError(
+            f"positive and negative score shapes differ: "
+            f"{positive_scores.shape} vs {negative_scores.shape}"
+        )
+    raw = ops.relu(positive_scores - negative_scores + margin)
+    if reduction == "mean":
+        return raw.mean()
+    if reduction == "sum":
+        return raw.sum()
+    if reduction == "none":
+        return raw
+    raise ValueError(f"reduction must be 'mean', 'sum', or 'none', got {reduction!r}")
+
+
+class MarginRankingLoss(Module):
+    """Module wrapper around :func:`margin_ranking_loss`.
+
+    Parameters
+    ----------
+    margin:
+        Separation margin.
+    reduction:
+        Batch reduction mode.
+    """
+
+    def __init__(self, margin: float = 0.5, reduction: str = "mean") -> None:
+        super().__init__()
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"invalid reduction {reduction!r}")
+        self.margin = float(margin)
+        self.reduction = reduction
+
+    def forward(self, positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+        return margin_ranking_loss(positive_scores, negative_scores,
+                                   margin=self.margin, reduction=self.reduction)

@@ -1,0 +1,189 @@
+"""Shared interface for every knowledge-graph embedding model.
+
+The convention throughout the library: :meth:`KGEModel.scores` returns a
+**dissimilarity** per triplet — smaller means more plausible.  Translational
+models return a distance directly; bilinear models (DistMult, ComplEx) return
+the negated plausibility so the same margin-ranking loss and the same ranking
+code work unchanged across families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.batching import TripletBatch
+from repro.losses.margin import MarginRankingLoss
+from repro.nn.module import Module
+from repro.utils.validation import check_triples
+
+
+class KGEModel(Module):
+    """Abstract knowledge-graph embedding model.
+
+    Parameters
+    ----------
+    n_entities, n_relations:
+        Vocabulary sizes.
+    embedding_dim:
+        Entity embedding width ``d``.
+    """
+
+    def __init__(self, n_entities: int, n_relations: int, embedding_dim: int) -> None:
+        super().__init__()
+        if n_entities <= 0 or n_relations <= 0 or embedding_dim <= 0:
+            raise ValueError(
+                "n_entities, n_relations, and embedding_dim must all be positive, got "
+                f"{n_entities}, {n_relations}, {embedding_dim}"
+            )
+        self.n_entities = int(n_entities)
+        self.n_relations = int(n_relations)
+        self.embedding_dim = int(embedding_dim)
+
+    # ------------------------------------------------------------------ #
+    # Core API
+    # ------------------------------------------------------------------ #
+    def scores(self, triples: np.ndarray) -> Tensor:
+        """Dissimilarity of each triplet (differentiable), shape ``(B,)``."""
+        raise NotImplementedError
+
+    def forward(self, triples: np.ndarray) -> Tensor:
+        return self.scores(triples)
+
+    def loss(self, batch: TripletBatch, criterion: Optional[Module] = None) -> Tensor:
+        """Margin-ranking loss of one positive/negative batch.
+
+        The positive and negative triples are scored in a single concatenated
+        pass (one incidence matrix, one SpMM) — the trick the sparse
+        formulation exploits to amortise the kernel launch.
+        """
+        criterion = criterion if criterion is not None else MarginRankingLoss()
+        combined = np.concatenate([batch.positives, batch.negatives], axis=0)
+        all_scores = self.scores(combined)
+        m = batch.size
+        pos_scores = all_scores[np.arange(m)]
+        neg_scores = all_scores[np.arange(m, 2 * m)]
+        return criterion(pos_scores, neg_scores)
+
+    def score_triples(self, triples: np.ndarray, chunk_size: int = 65536) -> np.ndarray:
+        """Non-differentiable scores (used by evaluation), computed in chunks."""
+        triples = check_triples(triples, n_entities=self.n_entities,
+                                n_relations=self.n_relations)
+        out = np.empty(triples.shape[0], dtype=np.float64)
+        with no_grad():
+            for start in range(0, triples.shape[0], chunk_size):
+                stop = min(start + chunk_size, triples.shape[0])
+                out[start:stop] = self.scores(triples[start:stop]).data
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Link prediction helpers
+    # ------------------------------------------------------------------ #
+    def score_all_tails(self, heads: np.ndarray, relations: np.ndarray,
+                        chunk_size: int = 65536) -> np.ndarray:
+        """Score every entity as a candidate tail: ``(B, n_entities)``.
+
+        The generic implementation expands to ``B * n_entities`` triples and
+        scores them in chunks; subclasses with a cheaper closed form (e.g.
+        TransE's ``h + r`` against all tails) override it.
+        """
+        heads = np.asarray(heads, dtype=np.int64).reshape(-1)
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        if heads.shape != relations.shape:
+            raise ValueError("heads and relations must have equal length")
+        b = heads.shape[0]
+        candidates = np.arange(self.n_entities, dtype=np.int64)
+        out = np.empty((b, self.n_entities), dtype=np.float64)
+        for i in range(b):
+            triples = np.column_stack([
+                np.full(self.n_entities, heads[i], dtype=np.int64),
+                np.full(self.n_entities, relations[i], dtype=np.int64),
+                candidates,
+            ])
+            out[i] = self.score_triples(triples, chunk_size=chunk_size)
+        return out
+
+    def score_all_heads(self, relations: np.ndarray, tails: np.ndarray,
+                        chunk_size: int = 65536) -> np.ndarray:
+        """Score every entity as a candidate head: ``(B, n_entities)``."""
+        relations = np.asarray(relations, dtype=np.int64).reshape(-1)
+        tails = np.asarray(tails, dtype=np.int64).reshape(-1)
+        if tails.shape != relations.shape:
+            raise ValueError("tails and relations must have equal length")
+        b = tails.shape[0]
+        candidates = np.arange(self.n_entities, dtype=np.int64)
+        out = np.empty((b, self.n_entities), dtype=np.float64)
+        for i in range(b):
+            triples = np.column_stack([
+                candidates,
+                np.full(self.n_entities, relations[i], dtype=np.int64),
+                np.full(self.n_entities, tails[i], dtype=np.int64),
+            ])
+            out[i] = self.score_triples(triples, chunk_size=chunk_size)
+        return out
+
+    def predict_tails(self, head: int, relation: int, k: int = 10) -> np.ndarray:
+        """Return the ``k`` most plausible tail entities for ``(head, relation, ?)``."""
+        scores = self.score_all_tails(np.array([head]), np.array([relation]))[0]
+        return np.argsort(scores)[:k]
+
+    def predict_heads(self, relation: int, tail: int, k: int = 10) -> np.ndarray:
+        """Return the ``k`` most plausible head entities for ``(?, relation, tail)``."""
+        scores = self.score_all_heads(np.array([relation]), np.array([tail]))[0]
+        return np.argsort(scores)[:k]
+
+    def classify_triples(self, triples: np.ndarray, threshold: float) -> np.ndarray:
+        """Binary triple classification: True when dissimilarity <= threshold."""
+        return self.score_triples(triples) <= float(threshold)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+    def entity_embedding_matrix(self) -> np.ndarray:
+        """Dense ``(n_entities, d)`` entity embedding snapshot."""
+        raise NotImplementedError
+
+    def relation_embedding_matrix(self) -> np.ndarray:
+        """Dense ``(n_relations, d_rel)`` relation embedding snapshot."""
+        raise NotImplementedError
+
+    def normalize_parameters(self) -> None:
+        """Per-epoch parameter maintenance (entity renormalisation etc.).
+
+        Default is a no-op; models that constrain embedding norms override it.
+        """
+
+    def config(self) -> Dict[str, object]:
+        """Serializable hyperparameter summary (used by reports)."""
+        return {
+            "model": type(self).__name__,
+            "n_entities": self.n_entities,
+            "n_relations": self.n_relations,
+            "embedding_dim": self.embedding_dim,
+            "n_parameters": self.num_parameters(),
+        }
+
+
+class TranslationalModel(KGEModel):
+    """Base for models scoring with a distance over a translation residual.
+
+    Parameters
+    ----------
+    dissimilarity:
+        Name of the distance function (``"L1"``, ``"L2"``, ``"torus_L2"``...).
+    """
+
+    def __init__(self, n_entities: int, n_relations: int, embedding_dim: int,
+                 dissimilarity: str = "L2") -> None:
+        super().__init__(n_entities, n_relations, embedding_dim)
+        from repro.nn.functional import get_dissimilarity
+
+        self.dissimilarity_name = dissimilarity
+        self.dissimilarity = get_dissimilarity(dissimilarity)
+
+    def config(self) -> Dict[str, object]:
+        cfg = super().config()
+        cfg["dissimilarity"] = self.dissimilarity_name
+        return cfg

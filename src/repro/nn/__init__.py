@@ -1,0 +1,24 @@
+"""Neural-network building blocks on top of the autograd engine.
+
+Contains the :class:`Module` / :class:`Parameter` abstractions, the dense
+:class:`Embedding` (fine-grained gather path used by the baselines), the
+:class:`StackedEmbedding` (single ``[entities; relations]`` matrix consumed by
+the SpMM path), initializers, and the dissimilarity functions shared by every
+translational model.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.embedding import Embedding, StackedEmbedding, MemoryMappedEmbedding
+from repro.nn import init
+from repro.nn import functional
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Embedding",
+    "StackedEmbedding",
+    "MemoryMappedEmbedding",
+    "init",
+    "functional",
+]

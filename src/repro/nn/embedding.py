@@ -1,0 +1,269 @@
+"""Embedding containers for both computational paths.
+
+* :class:`Embedding` — the conventional lookup table: forward gathers rows,
+  backward scatter-adds gradients.  This is what TorchKGE / PyG / DGL-KE do
+  and is therefore the layer our dense baselines are built on.
+* :class:`StackedEmbedding` — one ``(N + R) × d`` matrix holding entity rows
+  followed by relation rows, consumed whole by the SpMM of the sparse path
+  (paper Section 4.2.2).  Views over the entity / relation blocks are exposed
+  for evaluation and for models that still need per-relation parameters.
+* :class:`MemoryMappedEmbedding` — a disk-backed variant mirroring the
+  framework's "streaming embeddings from disk" feature for LLM-initialised
+  embeddings that do not fit in memory.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.ops import gather_rows
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import new_rng
+
+
+class Embedding(Module):
+    """Dense lookup-table embedding (the fine-grained gather/scatter path).
+
+    Parameters
+    ----------
+    num_embeddings:
+        Number of rows (entities or relations).
+    embedding_dim:
+        Embedding width ``d``.
+    rng:
+        Seed or generator for the Xavier-uniform initialisation.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError(
+                f"num_embeddings and embedding_dim must be positive, got "
+                f"{num_embeddings} and {embedding_dim}"
+            )
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        weight = Parameter(np.empty((num_embeddings, embedding_dim)), name="weight")
+        init.xavier_uniform_(weight, rng=new_rng(rng))
+        self.weight = weight
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Gather the rows at ``indices`` (shape ``(B,) -> (B, d)``)."""
+        return gather_rows(self.weight, np.asarray(indices, dtype=np.int64))
+
+    def renormalize(self, max_norm: float = 1.0, p: int = 2) -> None:
+        """Project every row onto the L_p ball of radius ``max_norm`` in place.
+
+        TransE-style training renormalises entity embeddings between batches;
+        this is a data-level operation outside the autograd tape.
+        """
+        w = self.weight.data
+        if p == 2:
+            norms = np.linalg.norm(w, axis=1, keepdims=True)
+        elif p == 1:
+            norms = np.abs(w).sum(axis=1, keepdims=True)
+        else:
+            raise ValueError(f"p must be 1 or 2, got {p}")
+        scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-12), 1.0)
+        w *= scale
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class StackedEmbedding(Module):
+    """Single ``(N + R) × d`` matrix: entity rows first, relation rows after.
+
+    The sparse models multiply the whole matrix by the ``hrt`` incidence
+    matrix, so entities and relations must live in one contiguous parameter.
+    ``ht``-based models (TransR, TransH) use only the entity block for the
+    SpMM and index the relation block directly.
+
+    Parameters
+    ----------
+    n_entities, n_relations:
+        Vocabulary sizes.
+    embedding_dim:
+        Shared embedding width ``d``.
+    rng:
+        Seed or generator for initialisation.
+    """
+
+    def __init__(self, n_entities: int, n_relations: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if n_entities <= 0 or n_relations <= 0 or embedding_dim <= 0:
+            raise ValueError("n_entities, n_relations, and embedding_dim must be positive")
+        self.n_entities = int(n_entities)
+        self.n_relations = int(n_relations)
+        self.embedding_dim = int(embedding_dim)
+        weight = Parameter(np.empty((n_entities + n_relations, embedding_dim)), name="stacked")
+        init.xavier_uniform_(weight, rng=new_rng(rng))
+        self.weight = weight
+
+    @property
+    def num_rows(self) -> int:
+        return self.n_entities + self.n_relations
+
+    def entity_embeddings(self) -> np.ndarray:
+        """Read-only view of the entity block ``(N, d)``."""
+        return self.weight.data[: self.n_entities]
+
+    def relation_embeddings(self) -> np.ndarray:
+        """Read-only view of the relation block ``(R, d)``."""
+        return self.weight.data[self.n_entities:]
+
+    def forward(self) -> Tensor:
+        """Return the full stacked parameter (fed directly to ``spmm``)."""
+        return self.weight
+
+    def gather_entities(self, indices: np.ndarray) -> Tensor:
+        """Differentiable gather from the entity block."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and idx.max() >= self.n_entities:
+            raise IndexError("entity index out of range")
+        return gather_rows(self.weight, idx)
+
+    def gather_relations(self, indices: np.ndarray) -> Tensor:
+        """Differentiable gather from the relation block."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and idx.max() >= self.n_relations:
+            raise IndexError("relation index out of range")
+        return gather_rows(self.weight, idx + self.n_entities)
+
+    def renormalize_entities(self, max_norm: float = 1.0, p: int = 2) -> None:
+        """Project entity rows onto the L_p ball (relations untouched)."""
+        w = self.weight.data[: self.n_entities]
+        if p == 2:
+            norms = np.linalg.norm(w, axis=1, keepdims=True)
+        elif p == 1:
+            norms = np.abs(w).sum(axis=1, keepdims=True)
+        else:
+            raise ValueError(f"p must be 1 or 2, got {p}")
+        scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-12), 1.0)
+        w *= scale
+
+    def load_pretrained(self, entity_matrix: Optional[np.ndarray] = None,
+                        relation_matrix: Optional[np.ndarray] = None) -> None:
+        """Overwrite blocks with pre-trained vectors (e.g. LLM embeddings)."""
+        if entity_matrix is not None:
+            ent = np.asarray(entity_matrix, dtype=np.float64)
+            if ent.shape != (self.n_entities, self.embedding_dim):
+                raise ValueError(
+                    f"entity matrix must have shape {(self.n_entities, self.embedding_dim)}, "
+                    f"got {ent.shape}"
+                )
+            self.weight.data[: self.n_entities] = ent
+        if relation_matrix is not None:
+            rel = np.asarray(relation_matrix, dtype=np.float64)
+            if rel.shape != (self.n_relations, self.embedding_dim):
+                raise ValueError(
+                    f"relation matrix must have shape {(self.n_relations, self.embedding_dim)}, "
+                    f"got {rel.shape}"
+                )
+            self.weight.data[self.n_entities:] = rel
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StackedEmbedding(entities={self.n_entities}, "
+                f"relations={self.n_relations}, dim={self.embedding_dim})")
+
+
+class MemoryMappedEmbedding(Module):
+    """Disk-backed stacked embedding for tables larger than main memory.
+
+    The weight lives in a ``numpy.memmap`` file.  Forward lookups behave like
+    :class:`StackedEmbedding`; updates are applied row-wise through
+    :meth:`apply_row_update` (lazy SGD on just the touched rows), which is how
+    streaming training avoids materialising a dense full-size gradient.
+
+    Parameters
+    ----------
+    n_entities, n_relations, embedding_dim:
+        Table geometry.
+    path:
+        Backing file; a temporary file is created when omitted.
+    rng:
+        Seed or generator for initialisation.
+    """
+
+    def __init__(self, n_entities: int, n_relations: int, embedding_dim: int,
+                 path: Optional[str] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.n_entities = int(n_entities)
+        self.n_relations = int(n_relations)
+        self.embedding_dim = int(embedding_dim)
+        rows = self.n_entities + self.n_relations
+        if path is None:
+            fd, path = tempfile.mkstemp(suffix=".embeddings.npy")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._memmap = np.memmap(path, dtype=np.float64, mode="w+",
+                                 shape=(rows, self.embedding_dim))
+        rng = new_rng(rng)
+        bound = np.sqrt(6.0 / (rows + self.embedding_dim))
+        # Initialise in chunks so huge tables never need a full in-memory copy.
+        chunk = max(1, min(rows, 65536))
+        for start in range(0, rows, chunk):
+            stop = min(rows, start + chunk)
+            self._memmap[start:stop] = rng.uniform(-bound, bound,
+                                                   size=(stop - start, self.embedding_dim))
+        self._memmap.flush()
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_entities + self.n_relations, self.embedding_dim)
+
+    def lookup(self, rows: np.ndarray) -> np.ndarray:
+        """Read rows from disk into an in-memory array (no autograd)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return np.array(self._memmap[rows], dtype=np.float64)
+
+    def forward(self, rows: np.ndarray) -> Tensor:
+        """Return looked-up rows as a leaf tensor that requires grad.
+
+        The caller reads ``tensor.grad`` after backward and feeds it to
+        :meth:`apply_row_update`; the full table never enters memory.
+        """
+        return Tensor(self.lookup(rows), requires_grad=True, name="memmap_rows")
+
+    def apply_row_update(self, rows: np.ndarray, grad: np.ndarray, lr: float) -> None:
+        """SGD update of only the touched rows, written straight back to disk."""
+        rows = np.asarray(rows, dtype=np.int64)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != (rows.size, self.embedding_dim):
+            raise ValueError(
+                f"grad must have shape {(rows.size, self.embedding_dim)}, got {grad.shape}"
+            )
+        # Accumulate duplicate-row gradients before the single write-back.
+        unique, inverse = np.unique(rows, return_inverse=True)
+        accum = np.zeros((unique.size, self.embedding_dim))
+        np.add.at(accum, inverse, grad)
+        self._memmap[unique] -= lr * accum
+        self._memmap.flush()
+
+    def close(self) -> None:
+        """Flush and release the backing file (deletes it if we created it)."""
+        if getattr(self, "_memmap", None) is not None:
+            self._memmap.flush()
+            del self._memmap
+            self._memmap = None
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __del__(self) -> None:  # pragma: no cover - best effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,56 @@
+"""Functional helpers shared by models: dissimilarity dispatch and scoring utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+DissimilarityFn = Callable[[Tensor], Tensor]
+
+
+def l1_dissimilarity(x: Tensor) -> Tensor:
+    """Row-wise L1 norm of the translation residual."""
+    return ops.lp_norm(x, p=1, axis=-1)
+
+
+def l2_dissimilarity(x: Tensor) -> Tensor:
+    """Row-wise L2 norm of the translation residual."""
+    return ops.lp_norm(x, p=2, axis=-1)
+
+
+def squared_l2_dissimilarity(x: Tensor) -> Tensor:
+    """Row-wise squared L2 norm (TransC-style)."""
+    return ops.squared_l2(x, axis=-1)
+
+
+def l1_torus_dissimilarity(x: Tensor) -> Tensor:
+    """Row-wise toroidal L1 distance (TorusE)."""
+    return ops.torus_distance(x, p=1, axis=-1)
+
+
+def l2_torus_dissimilarity(x: Tensor) -> Tensor:
+    """Row-wise toroidal squared-L2 distance (TorusE; the paper's hot kernel)."""
+    return ops.torus_distance(x, p=2, axis=-1)
+
+
+DISSIMILARITIES: Dict[str, DissimilarityFn] = {
+    "L1": l1_dissimilarity,
+    "L2": l2_dissimilarity,
+    "squared_L2": squared_l2_dissimilarity,
+    "torus_L1": l1_torus_dissimilarity,
+    "torus_L2": l2_torus_dissimilarity,
+}
+
+
+def get_dissimilarity(name: str) -> DissimilarityFn:
+    """Look up a dissimilarity function by name (``"L1"``, ``"L2"``, ``"torus_L2"``...)."""
+    if callable(name):
+        return name
+    try:
+        return DISSIMILARITIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dissimilarity {name!r}; available: {sorted(DISSIMILARITIES)}"
+        ) from None

@@ -1,0 +1,78 @@
+"""Parameter initializers.
+
+The paper (and TorchKGE, which it compares against) initialises entity and
+relation embeddings with Xavier/Glorot uniform; the initializers below operate
+in place on any tensor-like object exposing ``.data``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.utils.seeding import new_rng
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fan for a scalar parameter")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = int(shape[0])
+    return fan_in, fan_out
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0,
+             rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Fill with samples from ``U(low, high)``."""
+    rng = new_rng(rng)
+    tensor.data[...] = rng.uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Fill with samples from ``N(mean, std)``."""
+    rng = new_rng(rng)
+    tensor.data[...] = rng.normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0,
+                    rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot/Xavier uniform initialisation (TorchKGE's embedding default)."""
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound, rng=rng)
+
+
+def xavier_normal_(tensor: Tensor, gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return normal_(tensor, 0.0, std, rng=rng)
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    """Fill with zeros."""
+    tensor.data[...] = 0.0
+    return tensor
+
+
+def identity_stack_(tensor: Tensor) -> Tensor:
+    """Fill a ``(R, k, d)`` stack of projection matrices with identities.
+
+    TransR initialises every relation projection to the identity map (padded
+    or truncated when ``k != d``) so training starts from the TransE geometry.
+    """
+    if tensor.ndim != 3:
+        raise ValueError(f"expected a (R, k, d) parameter, got shape {tensor.shape}")
+    _, k, d = tensor.shape
+    eye = np.eye(k, d)
+    tensor.data[...] = eye[None, :, :]
+    return tensor

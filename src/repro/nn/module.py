@@ -1,0 +1,133 @@
+"""Module base class: parameter registration, traversal, and (de)serialization."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for every model component.
+
+    Mirrors the small subset of ``torch.nn.Module`` the framework needs:
+    attribute-based registration of :class:`Parameter` and sub-``Module``
+    objects, recursive parameter iteration, ``zero_grad``, train/eval mode,
+    and a plain-ndarray ``state_dict``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if value.name is None:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            # Re-assigning a non-parameter over an old registration removes it.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Explicitly register ``param`` under ``name``."""
+        if not isinstance(param, Parameter):
+            raise TypeError(f"expected Parameter, got {type(param)!r}")
+        setattr(self, name, param)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every parameter (recursively, depth-first)."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of learnable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def parameter_nbytes(self) -> int:
+        """Total parameter memory in bytes."""
+        return sum(p.nbytes for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Gradient / mode management
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. dropout)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", bool(mode))
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat ``{name: ndarray}`` snapshot of every parameter."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}(params={len(self._parameters)}, children=[{children}])"

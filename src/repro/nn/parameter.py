@@ -1,0 +1,24 @@
+"""Learnable parameter tensor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`~repro.autograd.tensor.Tensor` that is learnable by default.
+
+    Modules register attributes of this type automatically; optimizers update
+    them in place.  The payload is always floating point.
+    """
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None) -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        super().__init__(arr, requires_grad=requires_grad, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(shape={self.shape}, name={self.name!r})"

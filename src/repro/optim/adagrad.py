@@ -1,0 +1,46 @@
+"""Adagrad optimizer (used by DGL-KE's default training recipe)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adagrad(Optimizer):
+    """Adagrad with per-coordinate accumulated squared gradients.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimise.
+    lr:
+        Learning rate.
+    eps:
+        Denominator fuzz factor.
+    initial_accumulator:
+        Starting value of the squared-gradient accumulator.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 eps: float = 1e-10, initial_accumulator: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if initial_accumulator < 0:
+            raise ValueError(f"initial_accumulator must be non-negative, got {initial_accumulator}")
+        self.eps = float(eps)
+        self.initial_accumulator = float(initial_accumulator)
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        state = self._param_state(param)
+        if "sum_sq" not in state:
+            state["sum_sq"] = np.full_like(param.data, self.initial_accumulator)
+        sum_sq = state["sum_sq"]
+        sum_sq += grad * grad
+        param.data -= self.lr * grad / (np.sqrt(sum_sq) + self.eps)
+        self._count_update_flops(param, 6)

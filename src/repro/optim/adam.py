@@ -1,0 +1,63 @@
+"""Adam optimizer (the optimiser used by the paper's training scripts)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimise.
+    lr:
+        Learning rate (the paper uses 4e-4 for every framework).
+    betas:
+        Exponential decay rates for the first and second moment estimates.
+    eps:
+        Denominator fuzz factor.
+    weight_decay:
+        Optional decoupled-style L2 penalty added to the gradient.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 4e-4,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        state = self._param_state(param)
+        if "m" not in state:
+            state["m"] = np.zeros_like(param.data)
+            state["v"] = np.zeros_like(param.data)
+            state["t"] = 0
+        m, v = state["m"], state["v"]
+        state["t"] += 1
+        t = state["t"]
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * (grad * grad)
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._count_update_flops(param, 10)

@@ -1,0 +1,113 @@
+"""Learning-rate schedulers.
+
+Appendix E of the paper equips the training loop with a learning-rate
+scheduler when comparing final Hits@10; these schedulers drive the optimiser's
+``set_lr`` between epochs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not isinstance(optimizer, Optimizer):
+            raise TypeError(f"expected Optimizer, got {type(optimizer)!r}")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+        self.history: List[float] = [optimizer.lr]
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self, metric: Optional[float] = None) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.set_lr(lr)
+        self.history.append(lr)
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99) -> None:
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** self.last_epoch)
+
+
+class ReduceLROnPlateau(LRScheduler):
+    """Halve (by ``factor``) the learning rate when a metric stops improving.
+
+    ``step(metric)`` must be called with the monitored quantity (e.g. the
+    epoch loss); ``patience`` epochs without improvement trigger a reduction.
+    """
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5, patience: int = 5,
+                 min_lr: float = 1e-8, mode: str = "min") -> None:
+        super().__init__(optimizer)
+        if not 0 < factor < 1:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if patience < 0:
+            raise ValueError(f"patience must be non-negative, got {patience}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.min_lr = float(min_lr)
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.num_bad_epochs = 0
+        self.current_lr = optimizer.lr
+
+    def _is_better(self, metric: float) -> bool:
+        if self.best is None:
+            return True
+        return metric < self.best if self.mode == "min" else metric > self.best
+
+    def get_lr(self) -> float:
+        return self.current_lr
+
+    def step(self, metric: Optional[float] = None) -> float:
+        if metric is None:
+            raise ValueError("ReduceLROnPlateau.step() requires the monitored metric")
+        self.last_epoch += 1
+        if self._is_better(float(metric)):
+            self.best = float(metric)
+            self.num_bad_epochs = 0
+        else:
+            self.num_bad_epochs += 1
+            if self.num_bad_epochs > self.patience:
+                self.current_lr = max(self.current_lr * self.factor, self.min_lr)
+                self.num_bad_epochs = 0
+        self.optimizer.set_lr(self.current_lr)
+        self.history.append(self.current_lr)
+        return self.current_lr

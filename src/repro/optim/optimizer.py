@@ -1,0 +1,74 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.autograd.function import count_flops
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and common bookkeeping.
+
+    Parameters
+    ----------
+    params:
+        Iterable of :class:`~repro.nn.parameter.Parameter` objects (typically
+        ``model.parameters()``).
+    lr:
+        Learning rate; subclasses may expose more hyperparameters.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        for p in self.params:
+            if not isinstance(p, Parameter):
+                raise TypeError(f"expected Parameter, got {type(p)!r}")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of completed optimisation steps."""
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            self._update(p)
+        self._step_count += 1
+
+    def _update(self, param: Parameter) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _param_state(self, param: Parameter) -> Dict[str, np.ndarray]:
+        """Per-parameter optimiser state (allocated on first use)."""
+        key = id(param)
+        if key not in self.state:
+            self.state[key] = {}
+        return self.state[key]
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def _count_update_flops(self, param: Parameter, flops_per_element: int) -> None:
+        count_flops(f"optim[{type(self).__name__}]", flops_per_element * param.size,
+                    bytes_streamed=2 * param.nbytes)

@@ -1,0 +1,52 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Plain SGD: ``p <- p - lr * (grad + weight_decay * p)`` with momentum.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimise.
+    lr:
+        Learning rate.
+    momentum:
+        Classical momentum coefficient (0 disables the velocity buffer).
+    weight_decay:
+        L2 penalty coefficient added to the gradient.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            state = self._param_state(param)
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+                state["velocity"] = velocity
+            velocity *= self.momentum
+            velocity += grad
+            grad = velocity
+        param.data -= self.lr * grad
+        self._count_update_flops(param, 2 + (2 if self.momentum else 0))

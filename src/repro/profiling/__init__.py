@@ -1,0 +1,41 @@
+"""Profiling substrate: FLOP counting, device-memory model, cache model, timers.
+
+These modules stand in for the measurement tools the paper uses on its
+hardware testbed:
+
+* :mod:`repro.profiling.flops` — analytic FLOP counts per training phase
+  (replaces ``perf``'s FLOP counters; Table 6).
+* :mod:`repro.profiling.memory` — an analytic device-memory model charging
+  every live tensor of a training step to a simulated allocator (replaces
+  ``torch.cuda.max_memory_allocated``; Table 5, Figure 6).
+* :mod:`repro.profiling.cache` — a cache-behaviour model built from the
+  byte-traffic counters of each kernel (replaces ``perf``'s cache-miss rate;
+  Table 7).
+* :mod:`repro.profiling.timers` — wall-clock phase timers.
+* :mod:`repro.profiling.report` — function-level CPU profile of a training
+  step (Figure 2).
+"""
+
+from repro.profiling.flops import count_training_flops, FlopsBreakdown
+from repro.profiling.memory import (
+    MemoryReport,
+    measure_training_memory,
+    estimate_training_memory,
+)
+from repro.profiling.cache import CacheModel, CacheReport, measure_cache_behaviour
+from repro.profiling.timers import PhaseTimer
+from repro.profiling.report import profile_training_step, FunctionProfile
+
+__all__ = [
+    "count_training_flops",
+    "FlopsBreakdown",
+    "MemoryReport",
+    "measure_training_memory",
+    "estimate_training_memory",
+    "CacheModel",
+    "CacheReport",
+    "measure_cache_behaviour",
+    "PhaseTimer",
+    "profile_training_step",
+    "FunctionProfile",
+]

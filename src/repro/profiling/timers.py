@@ -1,0 +1,68 @@
+"""Named wall-clock phase timers."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import OrderedDict
+from typing import Dict, Iterator
+
+
+class PhaseTimer:
+    """Accumulate wall-clock time per named phase.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("forward"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("forward") > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: "OrderedDict[str, float]" = OrderedDict()
+        self._counts: Dict[str, int] = {}
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager measuring one occurrence of ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to a phase."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self._totals[name] = self._totals.get(name, 0.0) + float(seconds)
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds in ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    def totals(self) -> Dict[str, float]:
+        """Copy of all phase totals."""
+        return dict(self._totals)
+
+    def grand_total(self) -> float:
+        """Sum over every phase."""
+        return sum(self._totals.values())
+
+    def reset(self) -> None:
+        """Clear all accumulated state."""
+        self._totals.clear()
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self._totals.items())
+        return f"PhaseTimer({parts})"

@@ -1,0 +1,51 @@
+"""Sparse-matrix containers and kernels.
+
+This package provides everything the SpTransX formulation needs on the sparse
+side:
+
+* :class:`COOMatrix` / :class:`CSRMatrix` — light-weight sparse containers
+  mirroring the two formats the paper uses (COO for DGL g-SpMM, CSR for
+  iSpLib).
+* :mod:`repro.sparse.backends` — pluggable SpMM kernels (SciPy compiled CSR
+  kernel, a pure-NumPy reference, and a fused gather kernel specialised for
+  incidence matrices with a fixed number of non-zeros per row).
+* :func:`spmm` — the autograd-aware SpMM whose backward is another SpMM with
+  the transposed operand (paper Appendix G).
+* :mod:`repro.sparse.incidence` — builders for the ``ht`` (head − tail) and
+  ``hrt`` (head + relation − tail) incidence matrices of Section 4.2.
+* :mod:`repro.sparse.semiring` — semiring SpMM generalisation used to express
+  DistMult / ComplEx / RotatE (paper Appendix D).
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    SpMMBackend,
+)
+from repro.sparse.spmm import spmm, spmm_t
+from repro.sparse.incidence import (
+    build_ht_incidence,
+    build_hrt_incidence,
+    IncidenceBuilder,
+)
+from repro.sparse.semiring import Semiring, SEMIRINGS, semiring_spmm
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "SpMMBackend",
+    "spmm",
+    "spmm_t",
+    "build_ht_incidence",
+    "build_hrt_incidence",
+    "IncidenceBuilder",
+    "Semiring",
+    "SEMIRINGS",
+    "semiring_spmm",
+]

@@ -1,0 +1,87 @@
+"""Autograd-aware sparse-dense matrix multiplication.
+
+This module implements the operation the whole paper hinges on:
+
+    ``C = A @ X``   with   ``dL/dX = A^T @ (dL/dC)``   (Appendix G)
+
+``A`` is a constant incidence matrix built from the training triplets; ``X``
+is the (learnable) embedding matrix.  Both the forward and backward pass are a
+single SpMM, so one optimized kernel replaces the per-triplet gathers of the
+forward pass and the per-triplet scatter-adds of the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+from repro.sparse.backends import (
+    DEFAULT_BACKEND,
+    SparseLike,
+    SpMMBackend,
+    get_backend,
+)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def _transpose(A: SparseLike):
+    if isinstance(A, (COOMatrix, CSRMatrix)):
+        return A.T
+    if sp.issparse(A):
+        return A.T.tocsr()
+    raise TypeError(f"expected a sparse matrix, got {type(A)!r}")
+
+
+def spmm(
+    A: SparseLike,
+    X: Tensor,
+    backend: Union[str, SpMMBackend] = DEFAULT_BACKEND,
+    A_t: Optional[SparseLike] = None,
+) -> Tensor:
+    """Differentiable ``A @ X`` where ``A`` is sparse and constant.
+
+    Parameters
+    ----------
+    A:
+        Sparse operand (COO, CSR, or SciPy matrix) of shape ``(M, K)``.
+    X:
+        Dense tensor of shape ``(K, d)`` (typically the stacked embedding
+        matrix).  Gradients flow into ``X`` only.
+    backend:
+        Name of (or handle to) a registered SpMM backend.
+    A_t:
+        Optional pre-transposed ``A``.  The trainer caches this so repeated
+        backward passes do not pay the transpose each step.
+
+    Returns
+    -------
+    Tensor of shape ``(M, d)`` participating in the autograd tape.
+    """
+    kernel = get_backend(backend)
+    X_t = X if isinstance(X, Tensor) else Tensor(np.asarray(X))
+    out_data = kernel(A, X_t.data)
+
+    transposed = A_t
+
+    def backward(grad: np.ndarray) -> None:
+        nonlocal transposed
+        if not X_t.requires_grad:
+            return
+        if transposed is None:
+            transposed = _transpose(A)
+        X_t.accumulate_grad(kernel(transposed, grad))
+
+    return Tensor._make(out_data, (X_t,), backward, "spmm")
+
+
+def spmm_t(
+    A: SparseLike,
+    X: Tensor,
+    backend: Union[str, SpMMBackend] = DEFAULT_BACKEND,
+) -> Tensor:
+    """Differentiable ``A^T @ X`` (convenience wrapper around :func:`spmm`)."""
+    return spmm(_transpose(A), X, backend=backend, A_t=A)

@@ -1,0 +1,44 @@
+"""Training loops and configuration.
+
+:class:`Trainer` runs the paper's training protocol (margin-ranking loss over
+pre-generated negatives, per-phase wall-clock timing of forward / backward /
+optimiser step) for any :class:`~repro.models.base.KGEModel`;
+:class:`DataParallelTrainer` adds the simulated multi-worker data-parallel
+mode used to reproduce the Appendix-F scaling study.
+"""
+
+from repro.training.config import TrainingConfig
+from repro.training.trainer import Trainer, TrainingResult, EpochStats
+from repro.training.callbacks import (
+    Callback,
+    HistoryCallback,
+    EarlyStopping,
+    LRSchedulerCallback,
+    EvaluationCallback,
+)
+from repro.training.distributed import DataParallelTrainer, CommunicationModel, ScalingResult
+from repro.training.checkpoint import (
+    Checkpoint,
+    save_checkpoint,
+    load_checkpoint,
+    restore_into,
+)
+
+__all__ = [
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_into",
+    "TrainingConfig",
+    "Trainer",
+    "TrainingResult",
+    "EpochStats",
+    "Callback",
+    "HistoryCallback",
+    "EarlyStopping",
+    "LRSchedulerCallback",
+    "EvaluationCallback",
+    "DataParallelTrainer",
+    "CommunicationModel",
+    "ScalingResult",
+]

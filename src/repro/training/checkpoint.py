@@ -1,0 +1,128 @@
+"""Checkpointing: save and restore models, optimisers, and training progress.
+
+Long KGE runs (the paper trains 200-1000 epochs) need resumable state.  A
+checkpoint is a single ``.npz`` file holding the model's parameter arrays, the
+optimiser's per-parameter state, the epoch counter, and the loss history, plus
+a JSON-encoded metadata blob (model class, hyperparameters) used to sanity-
+check that a checkpoint is being restored into a compatible model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.base import KGEModel
+from repro.optim.optimizer import Optimizer
+
+
+@dataclass
+class Checkpoint:
+    """In-memory representation of a saved training state."""
+
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, np.ndarray] = field(default_factory=dict)
+    epoch: int = 0
+    losses: List[float] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def _flatten_optimizer_state(optimizer: Optimizer, model: KGEModel) -> Dict[str, np.ndarray]:
+    """Key optimiser buffers by parameter name rather than object identity."""
+    name_by_id = {id(p): name for name, p in model.named_parameters()}
+    flat: Dict[str, np.ndarray] = {}
+    for key, buffers in optimizer.state.items():
+        param_name = name_by_id.get(key)
+        if param_name is None:
+            continue
+        for buffer_name, value in buffers.items():
+            if isinstance(value, np.ndarray):
+                flat[f"{param_name}::{buffer_name}"] = value
+            else:
+                flat[f"{param_name}::{buffer_name}"] = np.asarray(value)
+    return flat
+
+
+def _restore_optimizer_state(optimizer: Optimizer, model: KGEModel,
+                             flat: Dict[str, np.ndarray]) -> None:
+    params_by_name = dict(model.named_parameters())
+    for key, value in flat.items():
+        param_name, _, buffer_name = key.partition("::")
+        param = params_by_name.get(param_name)
+        if param is None:
+            continue
+        state = optimizer._param_state(param)
+        state[buffer_name] = value if value.ndim else value.item()
+
+
+def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] = None,
+                    epoch: int = 0, losses: Optional[List[float]] = None) -> str:
+    """Write a checkpoint to ``path`` (``.npz``); returns the path written."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"model::{name}"] = value
+    if optimizer is not None:
+        for name, value in _flatten_optimizer_state(optimizer, model).items():
+            arrays[f"optim::{name}"] = value
+    metadata = {
+        "model_config": model.config(),
+        "epoch": int(epoch),
+        "losses": list(losses) if losses is not None else [],
+        "optimizer": type(optimizer).__name__ if optimizer is not None else None,
+        "optimizer_lr": optimizer.lr if optimizer is not None else None,
+        "optimizer_step_count": optimizer.step_count if optimizer is not None else 0,
+    }
+    arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    if not os.path.exists(path):
+        if os.path.exists(path + ".npz"):
+            path = path + ".npz"
+        else:
+            raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as data:
+        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+        model_state = {key[len("model::"):]: data[key] for key in data.files
+                       if key.startswith("model::")}
+        optimizer_state = {key[len("optim::"):]: data[key] for key in data.files
+                           if key.startswith("optim::")}
+    return Checkpoint(
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        epoch=int(metadata.get("epoch", 0)),
+        losses=[float(x) for x in metadata.get("losses", [])],
+        metadata=metadata,
+    )
+
+
+def restore_into(checkpoint: Checkpoint, model: KGEModel,
+                 optimizer: Optional[Optimizer] = None, strict: bool = True) -> None:
+    """Load a checkpoint's state into an existing model (and optimiser).
+
+    ``strict`` additionally verifies that the checkpoint was written by the
+    same model class with the same vocabulary sizes and embedding dimension.
+    """
+    if strict:
+        saved = checkpoint.metadata.get("model_config", {})
+        current = model.config()
+        for key in ("model", "n_entities", "n_relations", "embedding_dim"):
+            if key in saved and saved[key] != current.get(key):
+                raise ValueError(
+                    f"checkpoint/model mismatch for {key!r}: "
+                    f"checkpoint has {saved[key]!r}, model has {current.get(key)!r}"
+                )
+    model.load_state_dict(checkpoint.model_state)
+    if optimizer is not None and checkpoint.optimizer_state:
+        _restore_optimizer_state(optimizer, model, checkpoint.optimizer_state)
+        if checkpoint.metadata.get("optimizer_lr"):
+            optimizer.set_lr(float(checkpoint.metadata["optimizer_lr"]))

@@ -1,0 +1,78 @@
+"""Training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, Optional
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters of one training run.
+
+    Defaults follow the paper's experimental setting (Section 5.3): learning
+    rate 4e-4, margin 0.5, L2 dissimilarity, one pre-generated negative per
+    positive, Adam optimiser.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the training split.
+    batch_size:
+        Positives per minibatch.
+    learning_rate:
+        Optimiser learning rate.
+    margin:
+        Margin of the ranking loss.
+    optimizer:
+        ``"adam"``, ``"sgd"``, or ``"adagrad"``.
+    normalize_every:
+        Call ``model.normalize_parameters()`` every this many epochs
+        (0 disables the maintenance step).
+    regenerate_negatives:
+        Resample negatives each epoch instead of the paper's pre-generated
+        protocol.
+    shuffle:
+        Shuffle triples every epoch.
+    seed:
+        Seed for batching and negative sampling.
+    log_every:
+        Emit a log record every this many epochs (0 disables logging).
+    """
+
+    epochs: int = 100
+    batch_size: int = 32768
+    learning_rate: float = 4e-4
+    margin: float = 0.5
+    optimizer: str = "adam"
+    normalize_every: int = 1
+    regenerate_negatives: bool = False
+    shuffle: bool = True
+    seed: Optional[int] = 0
+    log_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.margin < 0:
+            raise ValueError(f"margin must be non-negative, got {self.margin}")
+        if self.optimizer not in ("adam", "sgd", "adagrad"):
+            raise ValueError(
+                f"optimizer must be 'adam', 'sgd', or 'adagrad', got {self.optimizer!r}"
+            )
+        if self.normalize_every < 0:
+            raise ValueError(f"normalize_every must be non-negative, got {self.normalize_every}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for logging and EXPERIMENTS.md records."""
+        return asdict(self)
+
+    def replace(self, **kwargs) -> "TrainingConfig":
+        """Return a copy with the given fields overridden."""
+        data = self.to_dict()
+        data.update(kwargs)
+        return TrainingConfig(**data)

@@ -1,0 +1,23 @@
+"""Shared utilities: seeding, validation helpers, and lightweight logging."""
+
+from repro.utils.seeding import seed_everything, temp_seed, new_rng
+from repro.utils.validation import (
+    check_array,
+    check_positive,
+    check_in_range,
+    check_triples,
+    check_same_shape,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "seed_everything",
+    "temp_seed",
+    "new_rng",
+    "check_array",
+    "check_positive",
+    "check_in_range",
+    "check_triples",
+    "check_same_shape",
+    "get_logger",
+]

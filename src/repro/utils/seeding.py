@@ -1,0 +1,86 @@
+"""Reproducible random-state management.
+
+Every stochastic component in the library (initializers, negative samplers,
+synthetic data generators, training loops) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers centralise how seeds are turned
+into generators so experiments are reproducible bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+_GLOBAL_SEED: Optional[int] = None
+
+
+def seed_everything(seed: int) -> None:
+    """Seed Python's ``random`` and NumPy's legacy global state.
+
+    The library itself always threads explicit generators, but user code and
+    third-party helpers may rely on global state; this makes whole-script runs
+    reproducible.
+
+    Parameters
+    ----------
+    seed:
+        Non-negative integer seed.
+    """
+    global _GLOBAL_SEED
+    if not isinstance(seed, (int, np.integer)) or seed < 0:
+        raise ValueError(f"seed must be a non-negative integer, got {seed!r}")
+    _GLOBAL_SEED = int(seed)
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+
+
+def get_global_seed() -> Optional[int]:
+    """Return the seed last passed to :func:`seed_everything`, if any."""
+    return _GLOBAL_SEED
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator, an ``int`` yields a
+    deterministic one, and an existing generator is passed through unchanged
+    (so callers can share a stream).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed)!r}")
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one seed.
+
+    Used by the simulated data-parallel trainer so each logical worker has an
+    independent, reproducible stream.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    root = new_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+@contextlib.contextmanager
+def temp_seed(seed: int) -> Iterator[None]:
+    """Context manager that temporarily seeds NumPy's legacy global state."""
+    state = np.random.get_state()
+    np.random.seed(seed % (2**32))
+    try:
+        yield
+    finally:
+        np.random.set_state(state)

@@ -1,0 +1,68 @@
+"""Tests for the FLOP / byte-traffic counter plumbing."""
+
+import numpy as np
+
+from repro.autograd import Tensor, flop_counter, get_flops, ops, reset_flops
+from repro.autograd.function import OpCounters, count_flops, get_global_counters
+
+
+class TestOpCounters:
+    def test_add_and_merge(self):
+        a = OpCounters()
+        a.add("x", 10, bytes_streamed=100, bytes_unique=50)
+        b = OpCounters()
+        b.add("x", 5)
+        b.add("y", 7)
+        a.merge(b)
+        assert a.flops == 22
+        assert a.per_op == {"x": 15, "y": 7}
+        assert a.bytes_streamed == 100
+        assert a.calls == 3
+
+    def test_count_flops_reaches_active_contexts(self):
+        with flop_counter() as outer:
+            with flop_counter() as inner:
+                count_flops("manual", 3)
+            count_flops("manual", 4)
+        assert inner.flops == 3
+        assert outer.flops == 7
+
+    def test_global_counter_and_reset(self):
+        reset_flops()
+        count_flops("manual", 11)
+        assert get_flops() == 11
+        reset_flops()
+        assert get_flops() == 0
+        assert get_global_counters().flops == 0
+
+
+class TestOperatorAccounting:
+    def test_elementwise_flops_match_size(self):
+        x = Tensor(np.ones((10, 10)))
+        with flop_counter() as counters:
+            _ = x + x
+        assert counters.per_op.get("add") == 100
+
+    def test_matmul_flops(self):
+        a = Tensor(np.ones((4, 5)))
+        b = Tensor(np.ones((5, 6)))
+        with flop_counter() as counters:
+            _ = a @ b
+        assert counters.per_op.get("matmul") == 2 * 4 * 6 * 5
+
+    def test_gather_records_byte_traffic(self):
+        w = Tensor(np.ones((8, 4)), requires_grad=True)
+        idx = np.array([0, 0, 3])
+        with flop_counter() as counters:
+            out = ops.gather_rows(w, idx)
+        assert counters.bytes_streamed == out.nbytes
+        # Two unique rows read plus the freshly written gathered copy.
+        assert counters.bytes_unique == 2 * 4 * 8 + out.nbytes
+
+    def test_backward_scatter_counted(self):
+        w = Tensor(np.ones((8, 4)), requires_grad=True)
+        idx = np.array([1, 2, 2])
+        out = ops.gather_rows(w, idx)
+        with flop_counter() as counters:
+            out.sum().backward()
+        assert "scatter_add" in counters.per_op

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import KGDataset, TripletBatch, UniformNegativeSampler, generate_synthetic_kg
+from repro.utils.seeding import new_rng
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator used by tests that need raw randomness."""
+    return new_rng(12345)
+
+
+@pytest.fixture
+def small_kg() -> KGDataset:
+    """A tiny synthetic KG (60 entities, 6 relations, 300 triples)."""
+    return generate_synthetic_kg(60, 6, 300, rng=7, name="tiny")
+
+
+@pytest.fixture
+def split_kg() -> KGDataset:
+    """A synthetic KG with validation and test splits for evaluation tests."""
+    return generate_synthetic_kg(
+        80, 5, 600, rng=11, name="tiny-split", valid_fraction=0.1, test_fraction=0.1
+    )
+
+
+@pytest.fixture
+def small_batch(small_kg) -> TripletBatch:
+    """One positive/negative batch of 64 triples from the small KG."""
+    sampler = UniformNegativeSampler(small_kg.n_entities, rng=3)
+    positives = small_kg.split.train[:64]
+    return TripletBatch(positives=positives, negatives=sampler.corrupt(positives))
+
+
+@pytest.fixture
+def random_triples(small_kg) -> np.ndarray:
+    """A (32, 3) slice of training triples."""
+    return small_kg.split.train[:32]

@@ -1,0 +1,176 @@
+"""Tests for file loaders and the SQLite-backed store."""
+
+import numpy as np
+import pytest
+
+from repro.data import SQLiteKGStore, load_csv, load_triples_file, load_tsv, load_ttl
+from repro.data.loaders import parse_ttl_lines
+from repro.data.synthetic import generate_synthetic_kg
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "kg.csv"
+    path.write_text(
+        "alice,knows,bob\n"
+        "bob,knows,carol\n"
+        "\n"
+        "carol,likes,alice\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def tsv_file(tmp_path):
+    path = tmp_path / "kg.tsv"
+    path.write_text("h\tr\tt\nalice\tknows\tbob\nbob\tlikes\tcarol\n")
+    return str(path)
+
+
+@pytest.fixture
+def ttl_file(tmp_path):
+    path = tmp_path / "kg.ttl"
+    path.write_text(
+        "@prefix ex: <http://example.org/> .\n"
+        "# a comment line\n"
+        "ex:alice ex:knows ex:bob .\n"
+        "<http://example.org/bob> <http://example.org/knows> <http://example.org/carol> .\n"
+        'ex:carol ex:name "Carol" .\n'
+    )
+    return str(path)
+
+
+class TestCSVLoader:
+    def test_load_and_vocab(self, csv_file):
+        kg = load_csv(csv_file)
+        assert kg.n_triples == 3
+        assert kg.n_entities == 3
+        assert kg.n_relations == 2
+        assert kg.entity_vocab.index("alice") == 0
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_csv("/nonexistent/file.csv")
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError):
+            load_csv(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError):
+            load_csv(str(path))
+
+    def test_custom_columns(self, tmp_path):
+        path = tmp_path / "cols.csv"
+        path.write_text("x,alice,knows,bob\nx,bob,knows,carol\n")
+        kg = load_csv(str(path), columns=(1, 2, 3))
+        assert kg.n_triples == 2
+
+    def test_tsv_with_header(self, tsv_file):
+        kg = load_tsv(tsv_file, skip_header=True)
+        assert kg.n_triples == 2
+        assert kg.n_relations == 2
+
+
+class TestTTLLoader:
+    def test_load(self, ttl_file):
+        kg = load_ttl(ttl_file)
+        assert kg.n_triples == 3
+        assert kg.n_relations == 2  # knows, name
+        assert "http://example.org/alice" in kg.entity_vocab
+
+    def test_prefix_expansion(self):
+        triples = list(parse_ttl_lines([
+            "@prefix ex: <http://ex.org/> .",
+            "ex:a ex:p ex:b .",
+        ]))
+        assert triples == [("http://ex.org/a", "http://ex.org/p", "http://ex.org/b")]
+
+    def test_semicolon_and_comma_shorthand(self):
+        triples = list(parse_ttl_lines([
+            "<s> <p> <o1> ;",
+            "<p2> <o2> ,",
+            "<o3> .",
+        ]))
+        assert ("s", "p", "o1") in triples
+        assert ("s", "p2", "o2") in triples
+        assert ("s", "p2", "o3") in triples
+
+    def test_malformed_statement(self):
+        with pytest.raises(ValueError):
+            list(parse_ttl_lines(["<s> <p> ."]))
+
+    def test_literal_object(self):
+        triples = list(parse_ttl_lines(['<s> <p> "some value" .']))
+        assert triples[0][2] == "some value"
+
+
+class TestDispatch:
+    def test_by_extension(self, csv_file, tsv_file, ttl_file):
+        assert load_triples_file(csv_file).n_triples == 3
+        assert load_triples_file(ttl_file).n_triples == 3
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "kg.parquet"
+        path.write_text("x")
+        with pytest.raises(ValueError):
+            load_triples_file(str(path))
+
+
+class TestSQLiteStore:
+    def test_ingest_and_counts(self):
+        kg = generate_synthetic_kg(30, 4, 100, rng=0, valid_fraction=0.1, test_fraction=0.1)
+        with SQLiteKGStore() as store:
+            store.ingest_dataset(kg)
+            assert store.n_entities == kg.n_entities
+            assert store.n_relations == kg.n_relations
+            assert store.n_triples("train") == kg.split.n_train
+            assert store.n_triples(None) == (kg.split.n_train + kg.split.n_valid
+                                             + kg.split.n_test)
+
+    def test_round_trip_to_dataset(self):
+        kg = generate_synthetic_kg(20, 3, 60, rng=1, valid_fraction=0.1)
+        with SQLiteKGStore() as store:
+            store.ingest_dataset(kg)
+            back = store.to_dataset()
+            np.testing.assert_array_equal(
+                np.sort(back.split.train, axis=0), np.sort(kg.split.train, axis=0)
+            )
+            assert back.n_entities == kg.n_entities
+
+    def test_iter_batches_streams_everything(self):
+        kg = generate_synthetic_kg(20, 3, 55, rng=2)
+        with SQLiteKGStore() as store:
+            store.ingest_dataset(kg)
+            batches = list(store.iter_batches(batch_size=16))
+            assert sum(b.shape[0] for b in batches) == 55
+            assert all(b.shape[1] == 3 for b in batches)
+            assert batches[0].shape[0] == 16
+
+    def test_iter_batches_validation(self):
+        with SQLiteKGStore() as store:
+            with pytest.raises(ValueError):
+                list(store.iter_batches(batch_size=0))
+
+    def test_ingest_labeled_triples_grows_vocab(self):
+        with SQLiteKGStore() as store:
+            store.ingest_labeled_triples([("a", "r", "b"), ("b", "r", "c")])
+            assert store.n_entities == 3
+            assert store.n_relations == 1
+            assert store.n_triples("train") == 2
+            vocab = store.entity_vocabulary()
+            assert vocab.index("a") == 0
+
+    def test_file_backed_store(self, tmp_path):
+        path = str(tmp_path / "kg.db")
+        kg = generate_synthetic_kg(10, 2, 20, rng=3)
+        store = SQLiteKGStore(path)
+        store.ingest_dataset(kg)
+        store.close()
+        reopened = SQLiteKGStore(path)
+        assert reopened.n_triples("train") == 20
+        reopened.close()

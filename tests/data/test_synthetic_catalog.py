@@ -1,0 +1,124 @@
+"""Tests for the synthetic generator and the paper-dataset catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import PAPER_DATASETS, generate_synthetic_kg, get_dataset_spec, make_dataset_like
+from repro.data.catalog import BENCHMARK_DATASETS, DatasetSpec
+
+
+class TestCatalog:
+    def test_table3_statistics_present(self):
+        assert PAPER_DATASETS["FB15K"].n_entities == 14951
+        assert PAPER_DATASETS["FB15K"].n_relations == 1345
+        assert PAPER_DATASETS["FB15K"].n_training_triples == 483142
+        assert PAPER_DATASETS["WN18RR"].n_training_triples == 86835
+        assert PAPER_DATASETS["BIOKG"].n_training_triples == 4762678
+        assert PAPER_DATASETS["COVID19"].n_entities == 60820
+
+    def test_benchmark_set_has_seven_datasets(self):
+        assert len(BENCHMARK_DATASETS) == 7
+        assert set(BENCHMARK_DATASETS) <= set(PAPER_DATASETS)
+
+    def test_lookup_is_case_and_punctuation_insensitive(self):
+        assert get_dataset_spec("fb15k").name == "FB15K"
+        assert get_dataset_spec("yago3_10").name == "YAGO3-10"
+        with pytest.raises(KeyError):
+            get_dataset_spec("freebase-full")
+
+    def test_scaling_preserves_aspect_ratio_roughly(self):
+        spec = PAPER_DATASETS["FB15K"].scaled(0.01)
+        assert spec.n_training_triples == pytest.approx(4831, rel=0.01)
+        assert spec.n_entities < PAPER_DATASETS["FB15K"].n_entities
+        ratio_full = PAPER_DATASETS["FB15K"].n_training_triples / PAPER_DATASETS["FB15K"].n_entities
+        ratio_scaled = spec.n_training_triples / spec.n_entities
+        assert 0.05 * ratio_full < ratio_scaled < 1.5 * ratio_full
+
+    def test_scale_one_returns_same_spec(self):
+        spec = PAPER_DATASETS["WN18"]
+        assert spec.scaled(1.0) is spec
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_DATASETS["WN18"].scaled(0.0)
+        with pytest.raises(ValueError):
+            PAPER_DATASETS["WN18"].scaled(2.0)
+
+
+class TestSyntheticGenerator:
+    def test_exact_sizes(self):
+        kg = generate_synthetic_kg(50, 5, 400, rng=0)
+        assert kg.n_entities == 50
+        assert kg.n_relations == 5
+        assert kg.n_triples == 400
+
+    def test_no_duplicates_or_self_loops(self):
+        kg = generate_synthetic_kg(30, 3, 500, rng=1)
+        triples = kg.split.train
+        assert len({tuple(t) for t in triples.tolist()}) == 500
+        assert np.all(triples[:, 0] != triples[:, 2])
+
+    def test_indices_in_range(self):
+        kg = generate_synthetic_kg(40, 6, 300, rng=2)
+        assert kg.split.train[:, [0, 2]].max() < 40
+        assert kg.split.train[:, 1].max() < 6
+
+    def test_reproducible_with_seed(self):
+        a = generate_synthetic_kg(30, 3, 100, rng=7)
+        b = generate_synthetic_kg(30, 3, 100, rng=7)
+        np.testing.assert_array_equal(a.split.train, b.split.train)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_kg(30, 3, 100, rng=7)
+        b = generate_synthetic_kg(30, 3, 100, rng=8)
+        assert not np.array_equal(a.split.train, b.split.train)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_kg(3, 1, 100, rng=0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_kg(1, 1, 1)
+        with pytest.raises(ValueError):
+            generate_synthetic_kg(10, 0, 1)
+        with pytest.raises(ValueError):
+            generate_synthetic_kg(10, 1, 0)
+
+    def test_relation_skew_produces_dominant_relations(self):
+        kg = generate_synthetic_kg(200, 20, 3000, rng=3, relation_skew=1.5)
+        freq = kg.relation_frequencies()
+        assert freq.max() > 3 * np.median(freq[freq > 0])
+
+    def test_splits_generated_when_requested(self):
+        kg = generate_synthetic_kg(50, 5, 400, rng=4, valid_fraction=0.1, test_fraction=0.1)
+        assert kg.split.n_valid == 40
+        assert kg.split.n_test == 40
+        assert kg.split.n_train == 320
+
+    def test_uniform_sampling_when_skew_zero(self):
+        kg = generate_synthetic_kg(50, 5, 400, rng=5, entity_skew=0.0, relation_skew=0.0)
+        assert kg.n_triples == 400
+
+
+class TestMakeDatasetLike:
+    def test_scaled_fb15k(self):
+        kg = make_dataset_like("FB15K", scale=0.002, rng=0)
+        spec = get_dataset_spec("FB15K").scaled(0.002)
+        assert kg.n_entities == spec.n_entities
+        assert kg.n_relations == spec.n_relations
+        assert kg.n_triples == spec.n_training_triples
+
+    def test_explicit_spec_overrides_name(self):
+        spec = DatasetSpec("custom", 25, 4, 100)
+        kg = make_dataset_like("ignored", spec=spec, rng=0)
+        assert kg.n_entities == 25
+        assert kg.name == "custom"
+
+    @given(scale=st.floats(min_value=0.001, max_value=0.01))
+    @settings(max_examples=5, deadline=None)
+    def test_any_small_scale_produces_valid_dataset(self, scale):
+        kg = make_dataset_like("WN18RR", scale=scale, rng=0)
+        assert kg.n_triples >= 64
+        assert kg.split.train[:, [0, 2]].max() < kg.n_entities

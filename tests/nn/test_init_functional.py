@@ -1,0 +1,91 @@
+"""Tests for initializers and the dissimilarity dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import functional, init
+from repro.nn.parameter import Parameter
+
+
+class TestInitializers:
+    def test_uniform_bounds(self):
+        p = Parameter(np.empty((100, 10)))
+        init.uniform_(p, -0.5, 0.5, rng=0)
+        assert p.data.min() >= -0.5 and p.data.max() <= 0.5
+
+    def test_normal_moments(self):
+        p = Parameter(np.empty((200, 50)))
+        init.normal_(p, mean=1.0, std=0.1, rng=0)
+        assert abs(p.data.mean() - 1.0) < 0.01
+        assert abs(p.data.std() - 0.1) < 0.01
+
+    def test_xavier_uniform_bound(self):
+        p = Parameter(np.empty((30, 20)))
+        init.xavier_uniform_(p, rng=0)
+        bound = np.sqrt(6.0 / 50)
+        assert np.all(np.abs(p.data) <= bound + 1e-12)
+
+    def test_xavier_normal_std(self):
+        p = Parameter(np.empty((300, 200)))
+        init.xavier_normal_(p, rng=0)
+        assert abs(p.data.std() - np.sqrt(2.0 / 500)) < 0.005
+
+    def test_xavier_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform_(Parameter(np.array(1.0)))
+
+    def test_zeros(self):
+        p = Parameter(np.ones((3, 3)))
+        init.zeros_(p)
+        assert np.all(p.data == 0)
+
+    def test_identity_stack(self):
+        p = Parameter(np.empty((4, 3, 5)))
+        init.identity_stack_(p)
+        expected = np.eye(3, 5)
+        for r in range(4):
+            np.testing.assert_allclose(p.data[r], expected)
+
+    def test_identity_stack_requires_3d(self):
+        with pytest.raises(ValueError):
+            init.identity_stack_(Parameter(np.empty((3, 3))))
+
+    def test_deterministic_given_seed(self):
+        a, b = Parameter(np.empty((5, 5))), Parameter(np.empty((5, 5)))
+        init.xavier_uniform_(a, rng=42)
+        init.xavier_uniform_(b, rng=42)
+        np.testing.assert_allclose(a.data, b.data)
+
+
+class TestDissimilarityDispatch:
+    def test_known_names(self):
+        for name in ("L1", "L2", "squared_L2", "torus_L1", "torus_L2"):
+            assert callable(functional.get_dissimilarity(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            functional.get_dissimilarity("L3")
+
+    def test_callable_passthrough(self):
+        fn = lambda x: x
+        assert functional.get_dissimilarity(fn) is fn
+
+    def test_l2_values(self):
+        x = Tensor([[3.0, 4.0]])
+        np.testing.assert_allclose(functional.l2_dissimilarity(x).data, [5.0], rtol=1e-6)
+
+    def test_l1_values(self):
+        x = Tensor([[3.0, -4.0]])
+        np.testing.assert_allclose(functional.l1_dissimilarity(x).data, [7.0])
+
+    def test_squared_l2_values(self):
+        x = Tensor([[3.0, 4.0]])
+        np.testing.assert_allclose(functional.squared_l2_dissimilarity(x).data, [25.0])
+
+    def test_torus_values(self):
+        x = Tensor([[0.9, 0.2]])
+        np.testing.assert_allclose(functional.l1_torus_dissimilarity(x).data, [0.3],
+                                   rtol=1e-10)
+        np.testing.assert_allclose(functional.l2_torus_dissimilarity(x).data,
+                                   [0.01 + 0.04], rtol=1e-10)

@@ -1,0 +1,123 @@
+"""Tests for the Module / Parameter abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 3)))
+        self.bias = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return x @ self.weight + self.bias
+
+
+class Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Leaf()
+        self.second = Leaf()
+        self.scale = Parameter(np.array([2.0]))
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_always_float(self):
+        p = Parameter(np.array([1, 2, 3]))
+        assert np.issubdtype(p.dtype, np.floating)
+
+    def test_named_on_registration(self):
+        leaf = Leaf()
+        assert leaf.weight.name == "weight"
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        leaf = Leaf()
+        names = dict(leaf.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules_discovered(self):
+        comp = Composite()
+        names = dict(comp.named_parameters())
+        assert set(names) == {
+            "scale", "first.weight", "first.bias", "second.weight", "second.bias"
+        }
+
+    def test_reassignment_removes_old_registration(self):
+        leaf = Leaf()
+        leaf.weight = "not a parameter"
+        assert set(dict(leaf.named_parameters())) == {"bias"}
+
+    def test_register_parameter_type_check(self):
+        leaf = Leaf()
+        with pytest.raises(TypeError):
+            leaf.register_parameter("x", Tensor(np.zeros(2)))
+
+    def test_modules_iteration(self):
+        comp = Composite()
+        assert len(list(comp.modules())) == 3
+
+    def test_num_parameters_and_bytes(self):
+        leaf = Leaf()
+        assert leaf.num_parameters() == 9
+        assert leaf.parameter_nbytes() == 9 * 8
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = Composite(), Composite()
+        for p in a.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        leaf = Leaf()
+        state = leaf.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(leaf.weight.data == 99.0)
+
+    def test_strict_missing_key(self):
+        leaf = Leaf()
+        with pytest.raises(KeyError):
+            leaf.load_state_dict({"weight": np.ones((2, 3))})
+
+    def test_non_strict_partial_load(self):
+        leaf = Leaf()
+        leaf.load_state_dict({"weight": np.full((2, 3), 7.0)}, strict=False)
+        np.testing.assert_allclose(leaf.weight.data, 7.0)
+
+    def test_shape_mismatch(self):
+        leaf = Leaf()
+        with pytest.raises(ValueError):
+            leaf.load_state_dict({"weight": np.ones((3, 3)), "bias": np.zeros(3)})
+
+
+class TestModes:
+    def test_zero_grad(self):
+        leaf = Leaf()
+        leaf.forward(Tensor(np.ones((4, 2)))).sum().backward()
+        assert leaf.weight.grad is not None
+        leaf.zero_grad()
+        assert leaf.weight.grad is None
+
+    def test_train_eval_recursive(self):
+        comp = Composite()
+        comp.eval()
+        assert not comp.first.training
+        comp.train()
+        assert comp.second.training
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,183 @@
+"""Tests for the COO and CSR sparse-matrix containers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture
+def dense():
+    rng = np.random.default_rng(0)
+    mat = rng.standard_normal((6, 8))
+    mat[rng.random((6, 8)) < 0.6] = 0.0
+    return mat
+
+
+class TestCOOConstruction:
+    def test_from_dense_roundtrip(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(coo.to_dense(), dense)
+
+    def test_from_scipy_roundtrip(self, dense):
+        coo = COOMatrix.from_scipy(sp.coo_matrix(dense))
+        np.testing.assert_allclose(coo.to_dense(), dense)
+
+    def test_to_scipy(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(coo.to_scipy().toarray(), dense)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], [1.0, 2.0], (2, 2))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 2], [0, 1], [1.0, 2.0], (2, 2))
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0, 5], [1.0, 2.0], (2, 2))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([], [], [], (-1, 2))
+
+    def test_empty_matrix(self):
+        coo = COOMatrix([], [], [], (3, 4))
+        assert coo.nnz == 0
+        assert coo.density == 0.0
+        np.testing.assert_allclose(coo.to_dense(), np.zeros((3, 4)))
+
+    def test_duplicates_sum_in_to_dense(self):
+        coo = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (1, 2))
+        np.testing.assert_allclose(coo.to_dense(), [[0.0, 5.0]])
+
+    def test_properties(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        assert coo.nnz == np.count_nonzero(dense)
+        assert coo.density == pytest.approx(np.count_nonzero(dense) / dense.size)
+        assert coo.nbytes > 0
+        assert coo.nnz_per_row().sum() == coo.nnz
+
+    def test_unhashable(self, dense):
+        with pytest.raises(TypeError):
+            hash(COOMatrix.from_dense(dense))
+
+
+class TestCOOOperations:
+    def test_transpose(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(coo.T.to_dense(), dense.T)
+
+    def test_copy_is_deep(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        other = coo.copy()
+        other.values[:] = 0.0
+        assert coo.values.any()
+
+    def test_scale(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(coo.scale(2.0).to_dense(), 2.0 * dense)
+
+    def test_select_rows(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        sub = coo.select_rows(np.array([1, 3, 5]))
+        np.testing.assert_allclose(sub.to_dense(), dense[[1, 3, 5]])
+
+    def test_select_rows_out_of_bounds(self, dense):
+        with pytest.raises(IndexError):
+            COOMatrix.from_dense(dense).select_rows(np.array([10]))
+
+    def test_matvec(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        x = np.arange(dense.shape[1], dtype=float)
+        np.testing.assert_allclose(coo.matvec(x), dense @ x)
+
+    def test_matvec_matrix_argument(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        X = np.random.default_rng(1).standard_normal((dense.shape[1], 3))
+        np.testing.assert_allclose(coo.matvec(X), dense @ X)
+
+    def test_matvec_dimension_mismatch(self, dense):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(dense).matvec(np.ones(dense.shape[1] + 1))
+
+    def test_equality(self, dense):
+        a = COOMatrix.from_dense(dense)
+        b = COOMatrix.from_dense(dense)
+        assert a == b
+
+
+class TestCSR:
+    def test_coo_csr_roundtrip(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        csr = coo.tocsr()
+        np.testing.assert_allclose(csr.to_dense(), dense)
+        np.testing.assert_allclose(csr.tocoo().to_dense(), dense)
+
+    def test_from_dense(self, dense):
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_from_scipy(self, dense):
+        csr = CSRMatrix.from_scipy(sp.csr_matrix(dense))
+        np.testing.assert_allclose(csr.to_dense(), dense)
+        np.testing.assert_allclose(csr.to_scipy().toarray(), dense)
+
+    def test_invalid_indptr_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([1, 1, 1], [], [], (2, 2))
+
+    def test_indptr_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2, 1], [0, 1], [1.0, 2.0], (2, 2))
+
+    def test_column_bounds(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1, 2], [0, 7], [1.0, 2.0], (2, 2))
+
+    def test_matmul_dense(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        X = np.random.default_rng(2).standard_normal((dense.shape[1], 4))
+        np.testing.assert_allclose(csr.matmul_dense(X), dense @ X)
+
+    def test_matmul_dimension_mismatch(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        with pytest.raises(ValueError):
+            csr.matmul_dense(np.ones((dense.shape[1] + 1, 2)))
+
+    def test_matvec(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        x = np.arange(dense.shape[1], dtype=float)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x)
+
+    def test_transpose(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.T.to_dense(), dense.T)
+
+    def test_row_slice(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.row_slice(2, 5).to_dense(), dense[2:5])
+
+    def test_row_slice_bounds(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        with pytest.raises(IndexError):
+            csr.row_slice(0, dense.shape[0] + 1)
+
+    def test_nnz_per_row(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.nnz_per_row(), (dense != 0).sum(axis=1))
+
+    def test_equality_and_copy(self, dense):
+        a = CSRMatrix.from_dense(dense)
+        b = a.copy()
+        assert a == b
+        b.data[:] = 0.0
+        assert not (a == b)
+
+    def test_unhashable(self, dense):
+        with pytest.raises(TypeError):
+            hash(CSRMatrix.from_dense(dense))

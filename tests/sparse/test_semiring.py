@@ -1,0 +1,117 @@
+"""Tests for the semiring SpMM extension (paper Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.sparse.semiring import (
+    SEMIRINGS,
+    Semiring,
+    complex_semiring_spmm,
+    get_semiring,
+    register_semiring,
+    semiring_spmm,
+)
+
+N_ENT, N_REL, DIM = 6, 3, 4
+
+
+@pytest.fixture
+def triples():
+    return np.array([[0, 1, 3], [2, 0, 1], [5, 2, 4]], dtype=np.int64)
+
+
+@pytest.fixture
+def stacked():
+    rng = np.random.default_rng(2)
+    return Tensor(rng.standard_normal((N_ENT + N_REL, DIM)), requires_grad=True)
+
+
+class TestRegistry:
+    def test_builtin_semirings(self):
+        assert {"plus_times", "times_times", "rotate"} <= set(SEMIRINGS)
+
+    def test_get_semiring_passthrough(self):
+        sr = get_semiring("plus_times")
+        assert get_semiring(sr) is sr
+
+    def test_unknown_semiring(self):
+        with pytest.raises(KeyError):
+            get_semiring("bogus")
+
+    def test_register_custom_semiring(self):
+        custom = Semiring("unit-test-min-plus",
+                          combine=lambda h, r, t: np.minimum(np.minimum(h, r), t),
+                          grads=lambda h, r, t, g: (g, g, g))
+        register_semiring(custom, overwrite=True)
+        assert get_semiring("unit-test-min-plus") is custom
+        with pytest.raises(ValueError):
+            register_semiring(custom)
+
+
+class TestSemiringSpmm:
+    def test_plus_times_matches_hrt(self, triples, stacked):
+        out = semiring_spmm(triples, stacked, N_ENT, "plus_times")
+        E = stacked.data
+        expected = E[triples[:, 0]] + E[N_ENT + triples[:, 1]] - E[triples[:, 2]]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_times_times_matches_distmult(self, triples, stacked):
+        out = semiring_spmm(triples, stacked, N_ENT, "times_times")
+        E = stacked.data
+        expected = E[triples[:, 0]] * E[N_ENT + triples[:, 1]] * E[triples[:, 2]]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_rotate_matches_formula(self, triples, stacked):
+        out = semiring_spmm(triples, stacked, N_ENT, "rotate")
+        E = stacked.data
+        expected = E[triples[:, 0]] * E[N_ENT + triples[:, 1]] - E[triples[:, 2]]
+        np.testing.assert_allclose(out.data, expected)
+
+    @pytest.mark.parametrize("name", ["plus_times", "times_times", "rotate"])
+    def test_gradcheck(self, name, triples, stacked):
+        ok, err = gradcheck(lambda E: semiring_spmm(triples, E, N_ENT, name), [stacked])
+        assert ok, err
+
+    def test_relation_index_bounds(self, stacked):
+        bad = np.array([[0, N_REL, 1]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            semiring_spmm(bad, stacked, N_ENT)
+
+    def test_entity_index_bounds(self, stacked):
+        bad = np.array([[N_ENT, 0, 1]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            semiring_spmm(bad, stacked, N_ENT)
+
+    def test_accepts_plain_array(self, triples):
+        E = np.random.default_rng(4).standard_normal((N_ENT + N_REL, DIM))
+        out = semiring_spmm(triples, E, N_ENT, "plus_times")
+        assert out.shape == (3, DIM)
+
+    def test_duplicate_entities_in_row(self, stacked):
+        triples = np.array([[2, 1, 2]], dtype=np.int64)
+        out = semiring_spmm(triples, stacked, N_ENT, "times_times")
+        E = stacked.data
+        np.testing.assert_allclose(out.data, (E[2] * E[N_ENT + 1] * E[2])[None, :])
+
+
+class TestComplexSemiring:
+    def test_matches_explicit_complex_product(self, triples):
+        rng = np.random.default_rng(7)
+        re = Tensor(rng.standard_normal((N_ENT + N_REL, DIM)), requires_grad=True)
+        im = Tensor(rng.standard_normal((N_ENT + N_REL, DIM)), requires_grad=True)
+        out = complex_semiring_spmm(triples, re, im, N_ENT)
+
+        h = re.data[triples[:, 0]] + 1j * im.data[triples[:, 0]]
+        r = re.data[N_ENT + triples[:, 1]] + 1j * im.data[N_ENT + triples[:, 1]]
+        t = re.data[triples[:, 2]] + 1j * im.data[triples[:, 2]]
+        expected = np.real(h * r * np.conj(t))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-10)
+
+    def test_gradients_flow_to_both_parts(self, triples):
+        rng = np.random.default_rng(8)
+        re = Tensor(rng.standard_normal((N_ENT + N_REL, DIM)), requires_grad=True)
+        im = Tensor(rng.standard_normal((N_ENT + N_REL, DIM)), requires_grad=True)
+        complex_semiring_spmm(triples, re, im, N_ENT).sum().backward()
+        assert re.grad is not None and np.any(re.grad != 0)
+        assert im.grad is not None and np.any(im.grad != 0)

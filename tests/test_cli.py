@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "transe"
+        assert args.formulation == "sparse"
+        assert args.dataset == "FB15K"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "kg2e"])
+
+
+class TestInfoCommand:
+    def test_lists_catalog_and_backends(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        payload = json.loads(out)
+        assert "FB15K" in payload["datasets"]
+        assert payload["datasets"]["FB15K"]["entities"] == 14951
+        assert "transe" in payload["sparse_models"]
+        assert "scipy" in payload["spmm_backends"]
+
+
+class TestTrainCommand:
+    def test_train_synthetic_and_checkpoint(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "model.npz")
+        code, out = run_cli(
+            capsys, "train", "--dataset", "WN18RR", "--scale", "0.003",
+            "--model", "transe", "--epochs", "2", "--batch-size", "256",
+            "--dim", "16", "--learning-rate", "0.01", "--checkpoint", ckpt,
+            "--quiet",
+        )
+        assert code == 0
+        assert "final_loss" in out
+        assert (tmp_path / "model.npz").exists()
+
+    def test_train_dense_formulation(self, capsys):
+        code, out = run_cli(
+            capsys, "train", "--dataset", "WN18RR", "--scale", "0.003",
+            "--model", "transh", "--formulation", "dense", "--epochs", "1",
+            "--batch-size", "256", "--dim", "8", "--quiet",
+        )
+        assert code == 0
+        assert "DenseTransH" in out
+
+    def test_train_from_triples_file_with_eval(self, capsys, tmp_path):
+        rng = np.random.default_rng(0)
+        rows = {(int(h), int(t)) for h, t in rng.integers(0, 20, size=(300, 2)) if h != t}
+        path = tmp_path / "kg.csv"
+        path.write_text("\n".join(f"e{h},r0,e{t}" for h, t in rows) + "\n")
+        code, out = run_cli(
+            capsys, "train", "--triples-file", str(path), "--test-fraction", "0.1",
+            "--epochs", "2", "--batch-size", "64", "--dim", "8",
+            "--learning-rate", "0.05", "--eval", "--quiet",
+        )
+        assert code == 0
+        assert "link_prediction" in out
+
+    def test_dense_only_model_with_sparse_formulation_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "transd", "--formulation", "sparse",
+                  "--scale", "0.003", "--epochs", "1", "--quiet"])
+
+
+class TestEvaluateCommand:
+    def test_train_then_evaluate_checkpoint(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "m.npz")
+        code, _ = run_cli(
+            capsys, "train", "--dataset", "WN18RR", "--scale", "0.003",
+            "--model", "transe", "--epochs", "2", "--batch-size", "256",
+            "--dim", "16", "--checkpoint", ckpt, "--quiet",
+        )
+        assert code == 0
+        code, out = run_cli(
+            capsys, "evaluate", "--checkpoint", ckpt, "--dataset", "WN18RR",
+            "--scale", "0.003", "--test-fraction", "0.1", "--ks", "1", "10",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert "hits@10" in payload
+        assert 0.0 <= payload["hits@10"] <= 1.0
+
+    def test_evaluate_empty_split_fails(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "m.npz")
+        run_cli(capsys, "train", "--dataset", "WN18RR", "--scale", "0.003",
+                "--model", "transe", "--epochs", "1", "--batch-size", "256",
+                "--dim", "8", "--checkpoint", ckpt, "--quiet")
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--checkpoint", ckpt, "--dataset", "WN18RR",
+                  "--scale", "0.003", "--test-fraction", "0", "--split", "valid"])

@@ -1,0 +1,110 @@
+"""Tests for the simulated data-parallel trainer (Appendix F substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_synthetic_kg
+from repro.models import SpTransE
+from repro.training import CommunicationModel, DataParallelTrainer, TrainingConfig
+from repro.training.distributed import ScalingResult, scaling_sweep
+
+
+@pytest.fixture
+def kg():
+    return generate_synthetic_kg(60, 6, 480, rng=0)
+
+
+@pytest.fixture
+def config():
+    return TrainingConfig(epochs=2, batch_size=240, learning_rate=0.01, seed=0)
+
+
+class TestCommunicationModel:
+    def test_single_worker_is_free(self):
+        assert CommunicationModel().allreduce_time(1, 10**9) == 0.0
+
+    def test_cost_increases_with_volume(self):
+        comm = CommunicationModel()
+        assert comm.allreduce_time(8, 10**9) > comm.allreduce_time(8, 10**6)
+
+    def test_cost_increases_with_workers_for_fixed_volume(self):
+        comm = CommunicationModel(latency_s=1e-3)
+        assert comm.allreduce_time(64, 10**6) > comm.allreduce_time(4, 10**6)
+
+    def test_ring_volume_term_saturates(self):
+        comm = CommunicationModel(latency_s=0.0)
+        t4 = comm.allreduce_time(4, 10**9)
+        t64 = comm.allreduce_time(64, 10**9)
+        # 2(W-1)/W approaches 2, so the bandwidth term grows by < 35% from 4 to 64.
+        assert t64 < 1.35 * t4
+
+
+class TestDataParallelTrainer:
+    def test_validation(self, kg, config):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        with pytest.raises(ValueError):
+            DataParallelTrainer(model, kg, 0, config)
+
+    def test_loss_decreases(self, kg, config):
+        model = SpTransE(kg.n_entities, kg.n_relations, 16, rng=0)
+        result = DataParallelTrainer(model, kg, 4, config.replace(epochs=5)).train()
+        assert result.losses[-1] < result.losses[0]
+
+    def test_result_fields(self, kg, config):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = DataParallelTrainer(model, kg, 4, config).train()
+        assert isinstance(result, ScalingResult)
+        assert result.n_workers == 4
+        assert result.measured_compute_time > 0
+        assert result.estimated_communication_time > 0
+        assert result.estimated_total_time == pytest.approx(
+            result.measured_compute_time + result.estimated_communication_time
+        )
+        as_dict = result.to_dict()
+        assert as_dict["n_workers"] == 4.0
+
+    def test_equivalent_to_single_worker_large_batch(self, kg):
+        """Gradient averaging across shards must reproduce single-worker training
+        on the full batch (the DDP guarantee)."""
+        cfg = TrainingConfig(epochs=1, batch_size=480, learning_rate=0.05,
+                             optimizer="sgd", seed=0, shuffle=False, normalize_every=0)
+        single = SpTransE(kg.n_entities, kg.n_relations, 8, rng=3)
+        multi = SpTransE(kg.n_entities, kg.n_relations, 8, rng=3)
+
+        from repro.training import Trainer
+
+        Trainer(single, kg, cfg).train()
+        DataParallelTrainer(multi, kg, 4, cfg).train()
+        np.testing.assert_allclose(
+            single.embeddings.weight.data, multi.embeddings.weight.data,
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_gradient_bytes_accounts_every_parameter(self, kg, config):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        trainer = DataParallelTrainer(model, kg, 2, config)
+        assert trainer.gradient_nbytes == sum(p.nbytes for p in model.parameters())
+
+    def test_more_workers_than_batch_rows_still_works(self, kg):
+        cfg = TrainingConfig(epochs=1, batch_size=3, seed=0)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = DataParallelTrainer(model, kg.subsample(6, rng=0), 8, cfg).train()
+        assert np.isfinite(result.losses[0])
+
+
+class TestScalingSweep:
+    def test_sweep_produces_one_result_per_worker_count(self, kg, config):
+        results = scaling_sweep(
+            lambda: SpTransE(kg.n_entities, kg.n_relations, 8, rng=0),
+            kg, [1, 2, 4], config=config.replace(epochs=1),
+        )
+        assert [r.n_workers for r in results] == [1, 2, 4]
+
+    def test_compute_time_shrinks_with_workers(self, kg):
+        """The Appendix-F shape: per-step compute falls as batches shard."""
+        cfg = TrainingConfig(epochs=1, batch_size=480, learning_rate=0.01, seed=0)
+        results = scaling_sweep(
+            lambda: SpTransE(kg.n_entities, kg.n_relations, 32, rng=0),
+            kg, [1, 8], config=cfg,
+        )
+        assert results[1].measured_compute_time < results[0].measured_compute_time

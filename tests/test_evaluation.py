@@ -1,0 +1,200 @@
+"""Tests for ranking utilities, link prediction, and triple classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import generate_synthetic_kg
+from repro.evaluation import (
+    RankingProtocol,
+    compute_ranks,
+    evaluate_link_prediction,
+    evaluate_triple_classification,
+)
+from repro.evaluation.ranks import hits_at_k, mean_rank, mean_reciprocal_rank
+from repro.models import SpTransE
+
+
+class TestComputeRanks:
+    def test_best_candidate_gets_rank_one(self):
+        scores = np.array([[0.1, 0.5, 0.9]])
+        assert compute_ranks(scores, np.array([0]))[0] == 1
+
+    def test_worst_candidate_gets_last_rank(self):
+        scores = np.array([[0.1, 0.5, 0.9]])
+        assert compute_ranks(scores, np.array([2]))[0] == 3
+
+    def test_ties_counted_as_half(self):
+        scores = np.array([[0.5, 0.5, 0.9]])
+        # One tie at the target's score -> rank 1 + 1/2.
+        assert compute_ranks(scores, np.array([0]))[0] == pytest.approx(1.5)
+
+    def test_constant_scores_give_middle_rank(self):
+        n = 11
+        scores = np.zeros((1, n))
+        rank = compute_ranks(scores, np.array([4]))[0]
+        assert rank == pytest.approx((n + 1) / 2)
+
+    def test_filtering_removes_other_positives(self):
+        scores = np.array([[0.1, 0.2, 0.9]])
+        raw = compute_ranks(scores, np.array([2]))
+        filtered = compute_ranks(scores, np.array([2]), [np.array([0, 1])])
+        assert raw[0] == 3
+        assert filtered[0] == 1
+
+    def test_filter_never_removes_the_target_itself(self):
+        scores = np.array([[0.1, 0.2, 0.9]])
+        filtered = compute_ranks(scores, np.array([2]), [np.array([2])])
+        assert filtered[0] == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            compute_ranks(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(IndexError):
+            compute_ranks(np.zeros((1, 3)), np.array([5]))
+        with pytest.raises(ValueError):
+            compute_ranks(np.zeros((2, 3)), np.array([0, 1]), [np.array([0])])
+
+    def test_metric_helpers(self):
+        ranks = np.array([1.0, 2.0, 10.0])
+        assert mean_rank(ranks) == pytest.approx(13 / 3)
+        assert mean_reciprocal_rank(ranks) == pytest.approx((1 + 0.5 + 0.1) / 3)
+        assert hits_at_k(ranks, 1) == pytest.approx(1 / 3)
+        assert hits_at_k(ranks, 10) == 1.0
+        with pytest.raises(ValueError):
+            hits_at_k(ranks, 0)
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_always_within_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal((3, n))
+        true = rng.integers(0, n, 3)
+        ranks = compute_ranks(scores, true)
+        assert np.all(ranks >= 1)
+        assert np.all(ranks <= n)
+
+
+class TestLinkPrediction:
+    @pytest.fixture
+    def trained_setup(self):
+        kg = generate_synthetic_kg(40, 4, 400, rng=0, valid_fraction=0.0, test_fraction=0.1)
+        model = SpTransE(kg.n_entities, kg.n_relations, 16, rng=0)
+        return kg, model
+
+    def test_result_structure(self, trained_setup):
+        kg, model = trained_setup
+        result = evaluate_link_prediction(model, kg.split.test[:10],
+                                          known_triples=kg.known_triples())
+        assert set(result.hits) == {1, 3, 10}
+        assert 1 <= result.mean_rank <= kg.n_entities
+        assert 0 <= result.mrr <= 1
+        assert result.head_ranks.shape == result.tail_ranks.shape == (10,)
+        as_dict = result.to_dict()
+        assert "hits@10" in as_dict
+
+    def test_filtered_requires_known_triples(self, trained_setup):
+        kg, model = trained_setup
+        with pytest.raises(ValueError):
+            evaluate_link_prediction(model, kg.split.test[:5], known_triples=None)
+
+    def test_raw_protocol_without_filter(self, trained_setup):
+        kg, model = trained_setup
+        result = evaluate_link_prediction(model, kg.split.test[:5],
+                                          protocol=RankingProtocol.RAW)
+        assert result.protocol == "raw"
+
+    def test_filtered_never_worse_than_raw(self, trained_setup):
+        kg, model = trained_setup
+        test = kg.split.test[:20]
+        raw = evaluate_link_prediction(model, test, protocol=RankingProtocol.RAW)
+        filtered = evaluate_link_prediction(model, test, known_triples=kg.known_triples())
+        assert filtered.mrr >= raw.mrr - 1e-12
+        assert filtered.mean_rank <= raw.mean_rank + 1e-12
+
+    def test_oracle_model_gets_perfect_hits(self):
+        """If embeddings are constructed so h + r = t exactly for the test triples,
+        filtered Hits@1 must be 1."""
+        kg = generate_synthetic_kg(30, 3, 200, rng=1, test_fraction=0.1)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        # Build an oracle embedding: place entities far apart, then set
+        # relation vectors so the *test* triples are exact translations.
+        rng = np.random.default_rng(0)
+        ent = rng.standard_normal((kg.n_entities, 8)) * 10
+        model.embeddings.weight.data[:kg.n_entities] = ent
+        test = kg.split.test[:5]
+        # A single relation cannot satisfy several triples at once in general, so
+        # give each test triple its own relation index.
+        for i, (h, r, t) in enumerate(test):
+            model.embeddings.weight.data[kg.n_entities + r] = ent[t] - ent[h]
+            break  # only the first triple is made exact
+        result = evaluate_link_prediction(model, test[:1], known_triples=kg.known_triples(),
+                                          ks=(1,))
+        assert result.hits[1] == 1.0
+
+    def test_batched_evaluation_matches_unbatched(self, trained_setup):
+        kg, model = trained_setup
+        test = kg.split.test[:12]
+        a = evaluate_link_prediction(model, test, known_triples=kg.known_triples(),
+                                     batch_size=3)
+        b = evaluate_link_prediction(model, test, known_triples=kg.known_triples(),
+                                     batch_size=100)
+        np.testing.assert_allclose(a.tail_ranks, b.tail_ranks)
+        np.testing.assert_allclose(a.head_ranks, b.head_ranks)
+
+    def test_training_improves_hits(self):
+        """End-to-end sanity: a trained model ranks better than an untrained one."""
+        from repro.training import Trainer, TrainingConfig
+
+        kg = generate_synthetic_kg(30, 3, 300, rng=2, test_fraction=0.1)
+        untrained = SpTransE(kg.n_entities, kg.n_relations, 24, rng=0)
+        before = evaluate_link_prediction(untrained, kg.split.test,
+                                          known_triples=kg.known_triples())
+        model = SpTransE(kg.n_entities, kg.n_relations, 24, rng=0)
+        Trainer(model, kg, TrainingConfig(epochs=60, batch_size=128, learning_rate=0.05,
+                                          optimizer="adam", seed=0)).train()
+        after = evaluate_link_prediction(model, kg.split.test,
+                                         known_triples=kg.known_triples())
+        assert after.mrr > before.mrr
+
+
+class TestTripleClassification:
+    def test_oracle_thresholds_give_high_accuracy(self):
+        kg = generate_synthetic_kg(30, 3, 300, rng=3, valid_fraction=0.2, test_fraction=0.2)
+        model = SpTransE(kg.n_entities, kg.n_relations, 16, rng=0)
+
+        class Oracle(SpTransE):
+            def __init__(self):
+                pass
+
+        # Fake a model whose score is 0 for known triples and 1 otherwise.
+        known = kg.known_triples()
+
+        class FakeModel:
+            n_entities = kg.n_entities
+            n_relations = kg.n_relations
+
+            def score_triples(self, triples):
+                return np.array([0.0 if tuple(t) in known else 1.0 for t in triples.tolist()])
+
+        result = evaluate_triple_classification(FakeModel(), kg.split.valid, kg.split.test,
+                                                rng=0)
+        # Unfiltered corruption occasionally produces true positives as "negatives",
+        # so perfect accuracy is not attainable even for an oracle scorer.
+        assert result.accuracy > 0.9
+        assert 0.0 <= result.default_threshold <= 1.0
+
+    def test_result_contains_per_relation_thresholds(self):
+        kg = generate_synthetic_kg(30, 3, 300, rng=4, valid_fraction=0.2, test_fraction=0.2)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = evaluate_triple_classification(model, kg.split.valid, kg.split.test, rng=0)
+        assert set(result.thresholds) <= set(range(kg.n_relations))
+        assert 0.0 <= result.accuracy <= 1.0
+        assert "accuracy" in result.to_dict()
+
+    def test_requires_non_empty_splits(self):
+        kg = generate_synthetic_kg(20, 2, 50, rng=5)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        with pytest.raises(ValueError):
+            evaluate_triple_classification(model, np.empty((0, 3), dtype=np.int64),
+                                           kg.split.train, rng=0)

@@ -1,0 +1,198 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.parameter import Parameter
+from repro.optim import (
+    SGD,
+    Adagrad,
+    Adam,
+    ExponentialLR,
+    Optimizer,
+    ReduceLROnPlateau,
+    StepLR,
+)
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ||p - 3||^2."""
+    return ((param - 3.0) ** 2).sum()
+
+
+def run_steps(optimizer: Optimizer, param: Parameter, steps: int) -> float:
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(param).item())
+
+
+class TestOptimizerBase:
+    def test_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            SGD([Tensor(np.zeros(3), requires_grad=True)], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(3))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_skips_parameters_without_grad(self):
+        p, q = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        opt = SGD([p, q], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, 0.0)
+        assert opt.step_count == 1
+
+    def test_set_lr_validation(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=0.1)
+        opt.set_lr(0.2)
+        assert opt.lr == 0.2
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+
+
+class TestSGD:
+    def test_single_step_formula(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()    # grad = 2(p-3) = -4
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.4])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        assert run_steps(SGD([p], lr=0.1), p, 100) < 1e-6
+
+    def test_momentum_accelerates(self):
+        p1, p2 = Parameter(np.zeros(4)), Parameter(np.zeros(4))
+        plain = run_steps(SGD([p1], lr=0.01), p1, 50)
+        heavy = run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, 50)
+        assert heavy < plain
+
+    def test_weight_decay_shrinks_solution(self):
+        p = Parameter(np.zeros(4))
+        run_steps(SGD([p], lr=0.1, weight_decay=1.0), p, 200)
+        assert np.all(p.data < 3.0)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        assert run_steps(Adam([p], lr=0.1), p, 300) < 1e-4
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam step is approximately lr * sign(grad).
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.05)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.05], rtol=1e-5)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.1, betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.1, eps=0.0)
+
+    def test_state_is_per_parameter(self):
+        p, q = Parameter(np.zeros(2)), Parameter(np.ones(3))
+        opt = Adam([p, q], lr=0.1)
+        (quadratic_loss(p) + quadratic_loss(q)).backward()
+        opt.step()
+        assert len(opt.state) == 2
+
+
+class TestAdagrad:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        assert run_steps(Adagrad([p], lr=1.0), p, 300) < 1e-3
+
+    def test_accumulator_monotone(self):
+        p = Parameter(np.zeros(2))
+        opt = Adagrad([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        first = opt.state[id(p)]["sum_sq"].copy()
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+        assert np.all(opt.state[id(p)]["sum_sq"] >= first)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adagrad([Parameter(np.zeros(2))], lr=0.1, eps=0.0)
+        with pytest.raises(ValueError):
+            Adagrad([Parameter(np.zeros(2))], lr=0.1, initial_accumulator=-1.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_plateau_reduces_after_patience(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        for loss in [1.0, 0.9, 0.9, 0.9]:
+            sched.step(loss)
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_plateau_requires_metric(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = ReduceLROnPlateau(opt)
+        with pytest.raises(ValueError):
+            sched.step()
+
+    def test_plateau_respects_min_lr(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1e-3)
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, min_lr=1e-4)
+        for _ in range(10):
+            sched.step(1.0)
+        assert opt.lr >= 1e-4
+
+    def test_scheduler_validation(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=1.5)
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(opt, mode="sideways")
+        with pytest.raises(TypeError):
+            StepLR("not an optimizer", step_size=1)
+
+    def test_history_recorded(self):
+        opt = SGD([Parameter(np.zeros(2))], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.9)
+        sched.step()
+        assert len(sched.history) == 2

@@ -1,0 +1,154 @@
+"""Tests for the shared utilities (seeding, validation, logging)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_same_shape,
+    check_triples,
+    get_logger,
+    new_rng,
+    seed_everything,
+    temp_seed,
+)
+from repro.utils.seeding import get_global_seed, spawn_rngs
+from repro.utils.validation import check_choice
+
+
+class TestSeeding:
+    def test_seed_everything_makes_legacy_numpy_deterministic(self):
+        seed_everything(123)
+        a = np.random.random(5)
+        seed_everything(123)
+        b = np.random.random(5)
+        np.testing.assert_allclose(a, b)
+        assert get_global_seed() == 123
+
+    def test_seed_everything_validation(self):
+        with pytest.raises(ValueError):
+            seed_everything(-1)
+        with pytest.raises(ValueError):
+            seed_everything("abc")
+
+    def test_new_rng_from_int_is_deterministic(self):
+        np.testing.assert_allclose(new_rng(5).random(3), new_rng(5).random(3))
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_new_rng_validation(self):
+        with pytest.raises(ValueError):
+            new_rng(-3)
+        with pytest.raises(TypeError):
+            new_rng(3.5)
+
+    def test_spawn_rngs_independent_streams(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+        again_a, _ = spawn_rngs(7, 2)
+        np.testing.assert_allclose(a.random(0), again_a.random(0))
+        with pytest.raises(ValueError):
+            spawn_rngs(7, 0)
+
+    def test_temp_seed_restores_state(self):
+        np.random.seed(1)
+        before = np.random.get_state()[1].copy()
+        with temp_seed(99):
+            np.random.random(10)
+        after = np.random.get_state()[1]
+        np.testing.assert_array_equal(before, after)
+
+
+class TestValidation:
+    def test_check_array_basic(self):
+        out = check_array([[1, 2], [3, 4]], ndim=2, dtype=np.float64)
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_check_array_ndim_mismatch(self):
+        with pytest.raises(ValueError):
+            check_array([1, 2, 3], ndim=2)
+
+    def test_check_array_empty_rejection(self):
+        with pytest.raises(ValueError):
+            check_array([], allow_empty=False)
+
+    def test_check_array_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_array(np.array(["a", "b"]))
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        assert check_positive(0, strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive(0)
+        with pytest.raises(ValueError):
+            check_positive(-1, strict=False)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0, 1) == 0.5
+        assert check_in_range(0, 0, 1) == 0
+        with pytest.raises(ValueError):
+            check_in_range(0, 0, 1, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range(2, 0, 1)
+
+    def test_check_triples_shape(self):
+        with pytest.raises(ValueError):
+            check_triples(np.zeros((3, 2)))
+
+    def test_check_triples_bounds(self):
+        triples = np.array([[0, 0, 1]])
+        assert check_triples(triples, n_entities=2, n_relations=1).dtype == np.int64
+        with pytest.raises(ValueError):
+            check_triples(triples, n_entities=1)
+        with pytest.raises(ValueError):
+            check_triples(np.array([[0, 3, 1]]), n_relations=2)
+        with pytest.raises(ValueError):
+            check_triples(np.array([[-1, 0, 1]]))
+
+    def test_check_triples_float_with_integral_values_ok(self):
+        out = check_triples(np.array([[0.0, 1.0, 2.0]]))
+        assert out.dtype == np.int64
+
+    def test_check_triples_non_integral_floats_rejected(self):
+        with pytest.raises(TypeError):
+            check_triples(np.array([[0.5, 1.0, 2.0]]))
+
+    def test_check_triples_empty(self):
+        out = check_triples(np.empty((0, 3)))
+        assert out.shape == (0, 3)
+
+    def test_check_same_shape(self):
+        check_same_shape(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError):
+            check_same_shape(np.zeros(3), np.ones(4))
+
+    def test_check_choice(self):
+        assert check_choice("a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            check_choice("c", ["a", "b"])
+
+
+class TestLogging:
+    def test_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("training").name == "repro.training"
+        assert get_logger("repro.data").name == "repro.data"
+
+    def test_enable_console_logging_idempotent(self):
+        from repro.utils.logging import enable_console_logging
+
+        enable_console_logging(logging.DEBUG)
+        n_handlers = len(logging.getLogger("repro").handlers)
+        enable_console_logging(logging.DEBUG)
+        assert len(logging.getLogger("repro").handlers) == n_handlers
