@@ -30,6 +30,10 @@ class OpCounters:
     bytes_unique: int = 0
     calls: int = 0
     per_op: Dict[str, int] = field(default_factory=dict)
+    #: Streamed bytes attributed per op name.  Lets the cache-model and
+    #: profiling benchmarks separate the row-sparse gradient path (op names
+    #: tagged ``[rowsparse]``) from the dense path it replaces.
+    per_op_bytes: Dict[str, int] = field(default_factory=dict)
 
     def add(self, op_name: str, flops: int, bytes_streamed: int = 0, bytes_unique: int = 0) -> None:
         self.flops += int(flops)
@@ -37,6 +41,10 @@ class OpCounters:
         self.bytes_unique += int(bytes_unique)
         self.calls += 1
         self.per_op[op_name] = self.per_op.get(op_name, 0) + int(flops)
+        if bytes_streamed:
+            self.per_op_bytes[op_name] = (
+                self.per_op_bytes.get(op_name, 0) + int(bytes_streamed)
+            )
 
     def merge(self, other: "OpCounters") -> None:
         self.flops += other.flops
@@ -45,6 +53,8 @@ class OpCounters:
         self.calls += other.calls
         for k, v in other.per_op.items():
             self.per_op[k] = self.per_op.get(k, 0) + v
+        for k, v in other.per_op_bytes.items():
+            self.per_op_bytes[k] = self.per_op_bytes.get(k, 0) + v
 
 
 class _CounterState(threading.local):

@@ -244,13 +244,20 @@ def frac(x: Tensor) -> Tensor:
 # --------------------------------------------------------------------------- #
 # Gathers, batched products, reductions
 # --------------------------------------------------------------------------- #
-def gather_rows(weight: Tensor, indices: np.ndarray) -> Tensor:
+def gather_rows(weight: Tensor, indices: np.ndarray,
+                sparse_grad: bool = False) -> Tensor:
     """Row lookup ``weight[indices]`` with scatter-add backward.
 
     This is the fine-grained embedding extraction the paper identifies as the
     training bottleneck (Figure 2): the forward copies one row per index and
     the backward scatters one gradient row per index (``EmbeddingBackward``).
     Byte-traffic counters feed the cache-behaviour model.
+
+    With ``sparse_grad=True`` (and a leaf ``weight``) the backward skips the
+    full-table densification and emits a
+    :class:`~repro.sparse.rowsparse.RowSparseGrad` over just the gathered
+    rows, so the gradient cost scales with ``len(indices)`` instead of the
+    table height.
     """
     weight = _to_tensor(weight)
     idx = np.asarray(indices, dtype=np.int64)
@@ -261,7 +268,7 @@ def gather_rows(weight: Tensor, indices: np.ndarray) -> Tensor:
             f"index out of range: min={idx.min()}, max={idx.max()}, rows={weight.shape[0]}"
         )
     out_data = weight.data[idx]
-    row_bytes = weight.data.itemsize * (weight.data.shape[1] if weight.data.ndim > 1 else 1)
+    row_bytes = weight.data.itemsize * int(np.prod(weight.data.shape[1:]))
     unique_rows = len(np.unique(idx)) if idx.size else 0
     # The gathered copy is freshly written memory (write-allocate traffic), so it
     # counts towards the compulsory-miss volume alongside the rows read.
@@ -270,6 +277,15 @@ def gather_rows(weight: Tensor, indices: np.ndarray) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if not weight.requires_grad:
+            return
+        if sparse_grad and weight.is_leaf:
+            from repro.sparse.rowsparse import RowSparseGrad
+
+            rsg = RowSparseGrad.from_rows(idx, grad, weight.data.shape)
+            count_flops("scatter_add[rowsparse]", grad.size,
+                        bytes_streamed=grad.nbytes + rsg.values.nbytes,
+                        bytes_unique=unique_rows * row_bytes + rsg.values.nbytes)
+            weight.accumulate_grad(rsg)
             return
         full = np.zeros_like(weight.data)
         np.add.at(full, idx, grad)

@@ -109,7 +109,8 @@ class Tensor:
         Optional identifier used in error messages and profiling reports.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_parents", "_backward", "_op")
+    __slots__ = ("data", "_grad", "_sparse_grad", "requires_grad", "name",
+                 "_parents", "_backward", "_op")
 
     __array_priority__ = 100  # ensure ndarray + Tensor dispatches to Tensor.__radd__
 
@@ -123,7 +124,8 @@ class Tensor:
         if requires_grad and not np.issubdtype(arr.dtype, np.floating):
             arr = arr.astype(np.float64)
         self.data: np.ndarray = arr
-        self.grad: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
+        self._sparse_grad = None  # Optional[RowSparseGrad]
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.name = name
         self._parents: Tuple[Tensor, ...] = ()
@@ -225,18 +227,94 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Gradient plumbing
     # ------------------------------------------------------------------ #
-    def zero_grad(self) -> None:
-        """Clear the accumulated gradient."""
-        self.grad = None
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        """The accumulated gradient as a dense array.
 
-    def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into :attr:`grad`, allocating on first use."""
+        Row-sparse gradients (see :class:`~repro.sparse.rowsparse.RowSparseGrad`)
+        are densified transparently on first access, so code written against the
+        dense contract keeps working unchanged.  Sparse-aware consumers (the
+        optimizers) should read :attr:`sparse_grad` *before* touching this
+        property — the densification is one-way.
+        """
+        if self._grad is None and self._sparse_grad is not None:
+            self._grad = self._sparse_grad.to_dense(dtype=self.data.dtype)
+            self._sparse_grad = None
+        return self._grad
+
+    @grad.setter
+    def grad(self, value) -> None:
+        if value is None:
+            self._grad = None
+            self._sparse_grad = None
+        elif getattr(value, "is_row_sparse", False):
+            if tuple(value.shape) != self.data.shape:
+                raise ValueError(
+                    f"row-sparse gradient shape {tuple(value.shape)} does not "
+                    f"match tensor shape {self.data.shape}"
+                )
+            self._sparse_grad = value
+            self._grad = None
+        else:
+            self._grad = np.asarray(value)
+            self._sparse_grad = None
+
+    @property
+    def sparse_grad(self):
+        """The accumulated gradient in row-sparse form, or ``None``.
+
+        Returns a :class:`~repro.sparse.rowsparse.RowSparseGrad` only when
+        *every* gradient contribution this backward pass was row-sparse;
+        any dense contribution collapses the accumulation to dense.
+        """
+        return self._sparse_grad
+
+    @property
+    def has_grad(self) -> bool:
+        """Whether any gradient (dense or row-sparse) has been accumulated.
+
+        Cheaper than ``tensor.grad is not None``, which densifies a pending
+        row-sparse gradient as a side effect.
+        """
+        return self._grad is not None or self._sparse_grad is not None
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient (dense and row-sparse)."""
+        self._grad = None
+        self._sparse_grad = None
+
+    def accumulate_grad(self, grad) -> None:
+        """Add ``grad`` into :attr:`grad`, allocating on first use.
+
+        Accepts a dense ``ndarray`` or a row-sparse gradient (any object with
+        ``is_row_sparse = True`` following the
+        :class:`~repro.sparse.rowsparse.RowSparseGrad` contract).  Sparse
+        contributions stay sparse until a dense contribution arrives, at which
+        point the accumulation collapses to a dense array.
+        """
+        if getattr(grad, "is_row_sparse", False):
+            if tuple(grad.shape) != self.data.shape:
+                raise ValueError(
+                    f"row-sparse gradient shape {tuple(grad.shape)} does not match "
+                    f"tensor shape {self.data.shape}"
+                )
+            if self._grad is not None:
+                grad.add_to_dense(self._grad)
+            elif self._sparse_grad is not None:
+                self._sparse_grad = self._sparse_grad.merge(grad)
+            else:
+                self._sparse_grad = grad
+            return
         if grad.shape != self.data.shape:
             grad = _unbroadcast(np.asarray(grad), self.data.shape)
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        if self._sparse_grad is not None:
+            # Mixed accumulation: densify the pending sparse part first.
+            self._grad = self._sparse_grad.to_dense(dtype=self.data.dtype)
+            self._sparse_grad = None
+        if self._grad is None:
+            self._grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad += grad
+            self._grad += grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode differentiation from this tensor.

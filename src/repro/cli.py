@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--learning-rate", type=float, default=4e-4)
     train.add_argument("--margin", type=float, default=0.5)
     train.add_argument("--optimizer", default="adam", choices=["adam", "sgd", "adagrad"])
+    train.add_argument("--sparse-grads", action="store_true",
+                       help="row-sparse gradient pipeline: backward and optimizer "
+                            "cost scale with the batch instead of the vocabulary "
+                            "(exact for sgd/adagrad, lazy SparseAdam-style for adam)")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--checkpoint", default=None, help="where to save the trained model")
     train.add_argument("--resume", default=None, help="checkpoint to resume from")
@@ -131,6 +135,7 @@ def _command_train(args: argparse.Namespace) -> int:
         epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.learning_rate,
         margin=args.margin, optimizer=args.optimizer, seed=args.seed,
         log_every=0 if args.quiet else max(1, args.epochs // 10),
+        sparse_grads=args.sparse_grads,
     )
     optimizer = build_optimizer(config.optimizer, model, config.learning_rate)
     start_epoch = 0

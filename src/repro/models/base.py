@@ -41,6 +41,26 @@ class KGEModel(Module):
         self.n_entities = int(n_entities)
         self.n_relations = int(n_relations)
         self.embedding_dim = int(embedding_dim)
+        #: When True, models that support it emit row-sparse gradients from
+        #: their SpMM / gather backwards (see ``repro.sparse.rowsparse``).
+        self.sparse_grads = False
+
+    def set_sparse_grads(self, enabled: bool = True) -> "KGEModel":
+        """Toggle the row-sparse gradient path (where the model supports it).
+
+        Sparse models route the flag into their SpMM and embedding-gather
+        backwards so gradients — and the optimizer updates they drive — cost
+        ``O(batch)`` instead of ``O(vocabulary)`` per step.  Models without a
+        sparse path (the dense bilinear family) simply ignore the flag, so
+        flipping it is always safe.  Returns ``self`` for chaining.
+        """
+        self.sparse_grads = bool(enabled)
+        from repro.nn.embedding import Embedding, StackedEmbedding
+
+        for module in self.modules():
+            if isinstance(module, (Embedding, StackedEmbedding)):
+                module.sparse_grad = bool(enabled)
+        return self
 
     # ------------------------------------------------------------------ #
     # Core API
@@ -63,8 +83,11 @@ class KGEModel(Module):
         combined = np.concatenate([batch.positives, batch.negatives], axis=0)
         all_scores = self.scores(combined)
         m = batch.size
-        pos_scores = all_scores[np.arange(m)]
-        neg_scores = all_scores[np.arange(m, 2 * m)]
+        # Positives occupy the first half of the concatenated batch, so plain
+        # slices split the scores; fancy indexing here would copy an index
+        # array through the autograd gather op on every step.
+        pos_scores = all_scores[:m]
+        neg_scores = all_scores[m:]
         return criterion(pos_scores, neg_scores)
 
     def score_triples(self, triples: np.ndarray, chunk_size: int = 65536) -> np.ndarray:

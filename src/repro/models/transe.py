@@ -49,12 +49,23 @@ class SpTransE(TranslationalModel):
         self.builder = IncidenceBuilder(n_entities, n_relations, fmt=fmt)
         self.backend = backend
 
+    #: Upper bound on the number of ``(B, block, d)`` diff elements a single
+    #: closed-form ranking block may materialise (~128 MB of float64).  Keeps
+    #: peak memory flat in the vocabulary size; see ``score_all_tails``.
+    RANK_BLOCK_ELEMENTS = 1 << 24
+
     def residuals(self, triples: np.ndarray) -> Tensor:
         """Per-triplet ``h + r − t`` computed with a single SpMM."""
         triples = check_triples(triples, n_entities=self.n_entities,
                                 n_relations=self.n_relations)
-        A, A_t = self.builder.hrt(triples, with_transpose=True)
-        return spmm(A, self.embeddings.weight, backend=self.backend, A_t=A_t)
+        if self.sparse_grads:
+            # The row-sparse backward reads A's structure directly; building
+            # the transpose would be dead work on the hot path.
+            A, A_t = self.builder.hrt(triples), None
+        else:
+            A, A_t = self.builder.hrt(triples, with_transpose=True)
+        return spmm(A, self.embeddings.weight, backend=self.backend, A_t=A_t,
+                    sparse_grad=self.sparse_grads)
 
     def scores(self, triples: np.ndarray) -> Tensor:
         """Dissimilarity ``||h + r − t||`` per triplet."""
@@ -62,25 +73,56 @@ class SpTransE(TranslationalModel):
 
     def score_all_tails(self, heads: np.ndarray, relations: np.ndarray,
                         chunk_size: int = 65536) -> np.ndarray:
-        """Closed-form ranking: ``||(h + r) − t'||`` against every entity."""
+        """Closed-form ranking: ``||(h + r) − t'||`` against every entity.
+
+        The ``(B, N, d)`` diff tensor is never materialised whole — at
+        B=128, N=100k, d=100 that would be ~10 GB — the candidate entities
+        are processed in blocks bounded by :attr:`RANK_BLOCK_ELEMENTS`.
+        """
         heads = np.asarray(heads, dtype=np.int64).reshape(-1)
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         ent = self.embeddings.entity_embeddings()
         rel = self.embeddings.relation_embeddings()
         translated = ent[heads] + rel[relations]          # (B, d)
-        diff = translated[:, None, :] - ent[None, :, :]    # (B, N, d)
-        return self._reduce(diff)
+        return self._rank_blocked(translated, ent, reverse=False,
+                                  chunk_size=chunk_size)
 
     def score_all_heads(self, relations: np.ndarray, tails: np.ndarray,
                         chunk_size: int = 65536) -> np.ndarray:
-        """Closed-form ranking: ``||h' − (t − r)||`` against every entity."""
+        """Closed-form ranking: ``||h' − (t − r)||`` against every entity.
+
+        Blocked over candidate entities like :meth:`score_all_tails`.
+        """
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         tails = np.asarray(tails, dtype=np.int64).reshape(-1)
         ent = self.embeddings.entity_embeddings()
         rel = self.embeddings.relation_embeddings()
         target = ent[tails] - rel[relations]               # (B, d)
-        diff = ent[None, :, :] - target[:, None, :]        # (B, N, d)
-        return self._reduce(diff)
+        return self._rank_blocked(target, ent, reverse=True,
+                                  chunk_size=chunk_size)
+
+    def _rank_blocked(self, queries: np.ndarray, ent: np.ndarray,
+                      reverse: bool, chunk_size: int = 65536) -> np.ndarray:
+        """Reduce ``queries`` against every entity in memory-bounded blocks.
+
+        ``chunk_size`` caps the entities per block; :attr:`RANK_BLOCK_ELEMENTS`
+        additionally bounds the ``(B, block, d)`` diff tensor, whichever is
+        smaller.  ``reverse`` flips the sign of the residual (``entity −
+        query`` instead of ``query − entity``) so asymmetric dissimilarities
+        in subclasses keep their original orientation.
+        """
+        b, d = queries.shape
+        n = ent.shape[0]
+        block = max(1, min(int(chunk_size),
+                           int(self.RANK_BLOCK_ELEMENTS // max(1, b * d))))
+        out = np.empty((b, n), dtype=np.result_type(queries.dtype, ent.dtype))
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            diff = queries[:, None, :] - ent[None, start:stop, :]
+            if reverse:
+                np.negative(diff, out=diff)
+            out[:, start:stop] = self._reduce(diff)
+        return out
 
     def _reduce(self, diff: np.ndarray) -> np.ndarray:
         if self.dissimilarity_name == "L1":

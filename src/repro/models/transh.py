@@ -66,8 +66,13 @@ class SpTransH(TranslationalModel):
         """Per-triplet ``(h − t) + d_r − (w_rᵀ (h − t)) w_r`` with one SpMM."""
         triples = check_triples(triples, n_entities=self.n_entities,
                                 n_relations=self.n_relations)
-        A, A_t = self.builder.ht(triples, with_transpose=True)
-        ht = spmm(A, self.entity_embeddings, backend=self.backend, A_t=A_t)  # (B, d)
+        if self.sparse_grads:
+            # The row-sparse backward never needs A^T; skip building it.
+            A, A_t = self.builder.ht(triples), None
+        else:
+            A, A_t = self.builder.ht(triples, with_transpose=True)
+        ht = spmm(A, self.entity_embeddings, backend=self.backend, A_t=A_t,
+                  sparse_grad=self.sparse_grads)                             # (B, d)
         rel_idx = triples[:, 1]
         d_r = self.translations(rel_idx)                                      # (B, d)
         w_r = normalize_rows(self.normals(rel_idx))                           # (B, d), unit norm

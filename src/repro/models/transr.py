@@ -76,10 +76,16 @@ class SpTransR(TranslationalModel):
         """Per-triplet ``M_r (h − t) + r`` via one ``ht`` SpMM + batched projection."""
         triples = check_triples(triples, n_entities=self.n_entities,
                                 n_relations=self.n_relations)
-        A, A_t = self.builder.ht(triples, with_transpose=True)
-        ht = spmm(A, self.entity_embeddings, backend=self.backend, A_t=A_t)   # (B, d)
+        if self.sparse_grads:
+            # The row-sparse backward never needs A^T; skip building it.
+            A, A_t = self.builder.ht(triples), None
+        else:
+            A, A_t = self.builder.ht(triples, with_transpose=True)
+        ht = spmm(A, self.entity_embeddings, backend=self.backend, A_t=A_t,
+                  sparse_grad=self.sparse_grads)                               # (B, d)
         rel_idx = triples[:, 1]
-        mats = gather_rows(self.projections, rel_idx)                          # (B, k, d)
+        mats = gather_rows(self.projections, rel_idx,
+                           sparse_grad=self.sparse_grads)                      # (B, k, d)
         projected = bmm_vec(mats, ht)                                          # (B, k)
         rel = self.relation_embeddings(rel_idx)                                # (B, k)
         return projected + rel

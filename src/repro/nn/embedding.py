@@ -39,10 +39,15 @@ class Embedding(Module):
         Embedding width ``d``.
     rng:
         Seed or generator for the Xavier-uniform initialisation.
+    sparse_grad:
+        Emit row-sparse gradients from the lookup backward instead of a dense
+        full-table scatter (see ``repro.sparse.rowsparse``).  Toggled by
+        ``KGEModel.set_sparse_grads``.
     """
 
     def __init__(self, num_embeddings: int, embedding_dim: int,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 sparse_grad: bool = False) -> None:
         super().__init__()
         if num_embeddings <= 0 or embedding_dim <= 0:
             raise ValueError(
@@ -51,13 +56,15 @@ class Embedding(Module):
             )
         self.num_embeddings = int(num_embeddings)
         self.embedding_dim = int(embedding_dim)
+        self.sparse_grad = bool(sparse_grad)
         weight = Parameter(np.empty((num_embeddings, embedding_dim)), name="weight")
         init.xavier_uniform_(weight, rng=new_rng(rng))
         self.weight = weight
 
     def forward(self, indices: np.ndarray) -> Tensor:
         """Gather the rows at ``indices`` (shape ``(B,) -> (B, d)``)."""
-        return gather_rows(self.weight, np.asarray(indices, dtype=np.int64))
+        return gather_rows(self.weight, np.asarray(indices, dtype=np.int64),
+                           sparse_grad=self.sparse_grad)
 
     def renormalize(self, max_norm: float = 1.0, p: int = 2) -> None:
         """Project every row onto the L_p ball of radius ``max_norm`` in place.
@@ -95,16 +102,21 @@ class StackedEmbedding(Module):
         Shared embedding width ``d``.
     rng:
         Seed or generator for initialisation.
+    sparse_grad:
+        Emit row-sparse gradients from the gather helpers (the SpMM itself is
+        controlled by the ``sparse_grad`` argument of ``repro.sparse.spmm``).
     """
 
     def __init__(self, n_entities: int, n_relations: int, embedding_dim: int,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 sparse_grad: bool = False) -> None:
         super().__init__()
         if n_entities <= 0 or n_relations <= 0 or embedding_dim <= 0:
             raise ValueError("n_entities, n_relations, and embedding_dim must be positive")
         self.n_entities = int(n_entities)
         self.n_relations = int(n_relations)
         self.embedding_dim = int(embedding_dim)
+        self.sparse_grad = bool(sparse_grad)
         weight = Parameter(np.empty((n_entities + n_relations, embedding_dim)), name="stacked")
         init.xavier_uniform_(weight, rng=new_rng(rng))
         self.weight = weight
@@ -130,14 +142,15 @@ class StackedEmbedding(Module):
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size and idx.max() >= self.n_entities:
             raise IndexError("entity index out of range")
-        return gather_rows(self.weight, idx)
+        return gather_rows(self.weight, idx, sparse_grad=self.sparse_grad)
 
     def gather_relations(self, indices: np.ndarray) -> Tensor:
         """Differentiable gather from the relation block."""
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size and idx.max() >= self.n_relations:
             raise IndexError("relation index out of range")
-        return gather_rows(self.weight, idx + self.n_entities)
+        return gather_rows(self.weight, idx + self.n_entities,
+                           sparse_grad=self.sparse_grad)
 
     def renormalize_entities(self, max_norm: float = 1.0, p: int = 2) -> None:
         """Project entity rows onto the L_p ball (relations untouched)."""

@@ -14,6 +14,13 @@ class Parameter(Tensor):
 
     Modules register attributes of this type automatically; optimizers update
     them in place.  The payload is always floating point.
+
+    Gradients may accumulate either densely (``.grad``) or row-sparsely when
+    the producing op emits a :class:`~repro.sparse.rowsparse.RowSparseGrad`
+    (``.sparse_grad``).  Sparse contributions merge with each other cheaply;
+    any dense contribution — or a read of ``.grad`` — collapses the
+    accumulation to a dense array, so consumers unaware of the sparse path
+    keep working unchanged.
     """
 
     def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None) -> None:

@@ -13,6 +13,11 @@ from repro.optim.optimizer import Optimizer
 class Adagrad(Optimizer):
     """Adagrad with per-coordinate accumulated squared gradients.
 
+    Row-sparse gradients update only the touched rows of both the parameter
+    and the accumulator.  This is *exactly* equivalent to the dense step: a
+    zero gradient row adds zero to ``sum_sq`` and produces a zero update, so
+    skipping untouched rows changes nothing but the cost.
+
     Parameters
     ----------
     params:
@@ -44,3 +49,14 @@ class Adagrad(Optimizer):
         sum_sq += grad * grad
         param.data -= self.lr * grad / (np.sqrt(sum_sq) + self.eps)
         self._count_update_flops(param, 6)
+
+    def _update_sparse(self, param: Parameter, grad) -> None:
+        state = self._param_state(param)
+        if "sum_sq" not in state:
+            state["sum_sq"] = np.full_like(param.data, self.initial_accumulator)
+        sum_sq = state["sum_sq"]
+        rows, vals = grad.indices, grad.values
+        touched = sum_sq[rows] + vals * vals
+        sum_sq[rows] = touched
+        param.data[rows] -= self.lr * vals / (np.sqrt(touched) + self.eps)
+        self._count_sparse_update_flops(param, vals.size, 6)

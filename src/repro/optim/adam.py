@@ -13,6 +13,15 @@ from repro.optim.optimizer import Optimizer
 class Adam(Optimizer):
     """Adam with bias correction.
 
+    Row-sparse gradients take a *lazy* update in the style of PyTorch's
+    ``SparseAdam``: only the rows a batch touched have their moments decayed
+    and their bias correction advanced, tracked by a per-row step counter.
+    Untouched rows keep stale moments instead of decaying toward zero, so the
+    trajectory differs from dense Adam by the (tiny) updates dense Adam would
+    apply to zero-gradient rows — loss curves match within tolerance, not
+    bit-for-bit.  Weight decay couples every row into every step and therefore
+    falls back to the dense path.
+
     Parameters
     ----------
     params:
@@ -49,10 +58,18 @@ class Adam(Optimizer):
         if "m" not in state:
             state["m"] = np.zeros_like(param.data)
             state["v"] = np.zeros_like(param.data)
-            state["t"] = 0
+        # The sparse path keeps "t" in sync on every step, so whenever
+        # "row_t" exists "t" does too; a fresh parameter starts at 0.
+        state.setdefault("t", 0)
         m, v = state["m"], state["v"]
         state["t"] += 1
         t = state["t"]
+        row_t = state.get("row_t")
+        if row_t is not None:
+            # A dense step decays and bias-corrects every row at the global
+            # step count; advance the per-row counters with it so a later
+            # return to the sparse path does not undercount the decays.
+            row_t.fill(t)
         m *= self.beta1
         m += (1 - self.beta1) * grad
         v *= self.beta2
@@ -61,3 +78,35 @@ class Adam(Optimizer):
         v_hat = v / (1 - self.beta2 ** t)
         param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         self._count_update_flops(param, 10)
+
+    def _update_sparse(self, param: Parameter, grad) -> None:
+        if self.weight_decay:
+            # Decay applies to every row every step; densify for correctness.
+            super()._update_sparse(param, grad)
+            return
+        state = self._param_state(param)
+        if "m" not in state:
+            state["m"] = np.zeros_like(param.data)
+            state["v"] = np.zeros_like(param.data)
+        if "row_t" not in state:
+            # Taking over from the dense path: every row has seen ``t`` steps.
+            state["row_t"] = np.full(param.data.shape[0], int(state.get("t", 0)),
+                                     dtype=np.int64)
+        m, v, row_t = state["m"], state["v"], state["row_t"]
+        rows, vals = grad.indices, grad.values
+        row_t[rows] += 1
+        t = row_t[rows]
+        # Keep the dense step counter in sync (cheap: max over touched rows
+        # only) so a later switch back to the dense path resumes with a bias
+        # correction consistent with how far the moments have decayed.
+        state["t"] = max(int(state.get("t", 0)), int(t.max(initial=0)))
+        # Broadcast the per-row bias corrections over the value shape.
+        expand = (slice(None),) + (None,) * (vals.ndim - 1)
+        m_rows = self.beta1 * m[rows] + (1 - self.beta1) * vals
+        v_rows = self.beta2 * v[rows] + (1 - self.beta2) * (vals * vals)
+        m[rows] = m_rows
+        v[rows] = v_rows
+        m_hat = m_rows / (1 - self.beta1 ** t)[expand]
+        v_hat = v_rows / (1 - self.beta2 ** t)[expand]
+        param.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._count_sparse_update_flops(param, vals.size, 10)

@@ -46,15 +46,35 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> None:
-        """Apply one update to every parameter that has a gradient."""
+        """Apply one update to every parameter that has a gradient.
+
+        Parameters holding a row-sparse gradient (see
+        :class:`~repro.sparse.rowsparse.RowSparseGrad`) dispatch to
+        :meth:`_update_sparse`, so per-step cost scales with the rows a batch
+        touched; everything else takes the dense :meth:`_update` path.
+        """
         for p in self.params:
-            if p.grad is None:
+            if not p.has_grad:
                 continue
-            self._update(p)
+            sparse = p.sparse_grad
+            if sparse is not None:
+                self._update_sparse(p, sparse)
+            else:
+                self._update(p)
         self._step_count += 1
 
     def _update(self, param: Parameter) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _update_sparse(self, param: Parameter, grad) -> None:
+        """Row-sparse update; the default densifies and reuses :meth:`_update`.
+
+        Subclasses override this with a scatter update over ``grad.indices`` /
+        ``grad.values`` when they can do better.  Reading ``param.grad`` here
+        triggers the transparent densification, so unmodified third-party
+        optimizers keep working with sparse-gradient models.
+        """
+        self._update(param)
 
     def _param_state(self, param: Parameter) -> Dict[str, np.ndarray]:
         """Per-parameter optimiser state (allocated on first use)."""
@@ -72,3 +92,16 @@ class Optimizer:
     def _count_update_flops(self, param: Parameter, flops_per_element: int) -> None:
         count_flops(f"optim[{type(self).__name__}]", flops_per_element * param.size,
                     bytes_streamed=2 * param.nbytes)
+
+    def _count_sparse_update_flops(self, param: Parameter, n_elements: int,
+                                   flops_per_element: int) -> None:
+        """FLOP/byte accounting for a scatter update touching ``n_elements``.
+
+        Bytes reflect the read-modify-write of only the touched rows — the
+        figure the cache-model benchmark compares against the dense path's
+        full-table rewrite.
+        """
+        count_flops(f"optim[{type(self).__name__}:rowsparse]",
+                    flops_per_element * n_elements,
+                    bytes_streamed=2 * n_elements * param.data.itemsize,
+                    bytes_unique=2 * n_elements * param.data.itemsize)

@@ -13,6 +13,12 @@ from repro.optim.optimizer import Optimizer
 class SGD(Optimizer):
     """Plain SGD: ``p <- p - lr * (grad + weight_decay * p)`` with momentum.
 
+    Row-sparse gradients take a scatter update over only the touched rows,
+    which is *exactly* equivalent to the dense step (untouched rows have zero
+    gradient, so dense SGD leaves them unchanged anyway).  Momentum and weight
+    decay couple every row into every step, so those configurations fall back
+    to the dense path.
+
     Parameters
     ----------
     params:
@@ -50,3 +56,11 @@ class SGD(Optimizer):
             grad = velocity
         param.data -= self.lr * grad
         self._count_update_flops(param, 2 + (2 if self.momentum else 0))
+
+    def _update_sparse(self, param: Parameter, grad) -> None:
+        if self.momentum or self.weight_decay:
+            # Both touch every row every step; densify for exactness.
+            super()._update_sparse(param, grad)
+            return
+        param.data[grad.indices] -= self.lr * grad.values
+        self._count_sparse_update_flops(param, grad.values.size, 2)

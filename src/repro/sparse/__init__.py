@@ -10,7 +10,10 @@ side:
   kernel, a pure-NumPy reference, and a fused gather kernel specialised for
   incidence matrices with a fixed number of non-zeros per row).
 * :func:`spmm` — the autograd-aware SpMM whose backward is another SpMM with
-  the transposed operand (paper Appendix G).
+  the transposed operand (paper Appendix G); with ``sparse_grad=True`` the
+  backward emits a :class:`RowSparseGrad` covering only the touched rows.
+* :class:`RowSparseGrad` — the row-sparse gradient container consumed by the
+  optimizers' scatter-update paths (see ``repro.sparse.rowsparse``).
 * :mod:`repro.sparse.incidence` — builders for the ``ht`` (head − tail) and
   ``hrt`` (head + relation − tail) incidence matrices of Section 4.2.
 * :mod:`repro.sparse.semiring` — semiring SpMM generalisation used to express
@@ -31,11 +34,14 @@ from repro.sparse.incidence import (
     build_hrt_incidence,
     IncidenceBuilder,
 )
+from repro.sparse.rowsparse import RowSparseGrad, coalesce_rows
 from repro.sparse.semiring import Semiring, SEMIRINGS, semiring_spmm
 
 __all__ = [
     "COOMatrix",
     "CSRMatrix",
+    "RowSparseGrad",
+    "coalesce_rows",
     "available_backends",
     "get_backend",
     "register_backend",

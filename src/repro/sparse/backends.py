@@ -110,21 +110,66 @@ class SpMMBackend:
 # --------------------------------------------------------------------------- #
 # Backend implementations
 # --------------------------------------------------------------------------- #
+def _out_dtype(X: np.ndarray) -> np.dtype:
+    """Output dtype contract shared by every backend.
+
+    Floating inputs keep their dtype (a float32 embedding matrix must not be
+    silently upcast to float64 — that doubles the memory traffic the whole
+    sparse formulation exists to minimise); integer inputs promote to float64.
+    Sub-float32 floats (float16) compute at float32, the narrowest width every
+    backend supports — SciPy's sparse kernels have no float16 path.
+    """
+    if np.issubdtype(X.dtype, np.floating):
+        return np.result_type(X.dtype, np.float32)
+    return np.result_type(X.dtype, np.float64)
+
+
 def _scipy_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
     """Compiled CSR kernel from SciPy (cache-blocked C code)."""
-    return np.asarray(_as_scipy_csr(A) @ X)
+    csr = _as_scipy_csr(A)
+    dtype = _out_dtype(X)
+    if csr.dtype != dtype:
+        # Cast only the nnz values (cheap) so the product streams at X's
+        # width; the index arrays are shared, not copied.
+        csr = sp.csr_matrix(
+            (csr.data.astype(dtype), csr.indices, csr.indptr), shape=csr.shape
+        )
+    return np.asarray(csr @ X)
 
 
 def _numpy_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
     """Pure-NumPy reference: gather source rows, scale, scatter-add into output."""
     coo = _as_coo(A)
+    dtype = _out_dtype(X)
+    vals = coo.values.astype(dtype, copy=False)
     if X.ndim == 1:
-        out = np.zeros(coo.shape[0], dtype=np.result_type(X.dtype, np.float64))
-        np.add.at(out, coo.rows, coo.values * X[coo.cols])
+        out = np.zeros(coo.shape[0], dtype=dtype)
+        np.add.at(out, coo.rows, vals * X[coo.cols])
         return out
-    out = np.zeros((coo.shape[0], X.shape[1]), dtype=np.result_type(X.dtype, np.float64))
-    np.add.at(out, coo.rows, coo.values[:, None] * X[coo.cols])
+    out = np.zeros((coo.shape[0], X.shape[1]), dtype=dtype)
+    np.add.at(out, coo.rows, vals[:, None] * X[coo.cols])
     return out
+
+
+def _regular_pattern(coo: COOMatrix):
+    """Detect a sorted, constant-nnz-per-row COO pattern without a full sort.
+
+    Matrices from :class:`~repro.sparse.incidence.IncidenceBuilder` always
+    store rows as ``repeat(arange(m), k)``, so one reshape plus two vectorized
+    comparisons replace the ``bincount`` + stable ``argsort`` that used to run
+    on every call.  Returns ``(cols, vals)`` reshaped to ``(m, k)`` when the
+    fast path applies, else ``None``.
+    """
+    m = coo.shape[0]
+    if m == 0 or coo.nnz % m != 0:
+        return None
+    k = coo.nnz // m
+    rows = coo.rows.reshape(m, k)
+    if not np.array_equal(rows[:, 0], np.arange(m, dtype=rows.dtype)):
+        return None
+    if k > 1 and not (rows == rows[:, :1]).all():
+        return None
+    return coo.cols.reshape(m, k), coo.values.reshape(m, k)
 
 
 def _fused_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
@@ -132,19 +177,28 @@ def _fused_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
 
     When every row holds exactly ``k`` non-zeros (k=2 for ``ht``, k=3 for
     ``hrt``) the product collapses to ``k`` strided gathers and ``k-1`` fused
-    adds — no scatter, no atomic accumulation.  Falls back to the SciPy kernel
-    for irregular patterns.
+    adds — no scatter, no atomic accumulation.  Incidence matrices arrive with
+    rows already sorted, so the common case skips the sort entirely; only
+    irregular-but-constant patterns pay the ``bincount`` + stable ``argsort``,
+    and anything else falls back to the SciPy kernel.
     """
     coo = _as_coo(A)
-    counts = np.bincount(coo.rows, minlength=coo.shape[0])
+    dtype = _out_dtype(X)
     if coo.nnz == 0:
-        return np.zeros((coo.shape[0],) + X.shape[1:], dtype=np.float64)
-    k = counts.max(initial=0)
-    if k == 0 or not np.all(counts == k):
-        return _scipy_spmm(A, X)
-    order = np.argsort(coo.rows, kind="stable")
-    cols = coo.cols[order].reshape(coo.shape[0], k)
-    vals = coo.values[order].reshape(coo.shape[0], k)
+        return np.zeros((coo.shape[0],) + X.shape[1:], dtype=dtype)
+    regular = _regular_pattern(coo)
+    if regular is None:
+        counts = np.bincount(coo.rows, minlength=coo.shape[0])
+        k = counts.max(initial=0)
+        if k == 0 or not np.all(counts == k):
+            return _scipy_spmm(A, X)
+        order = np.argsort(coo.rows, kind="stable")
+        cols = coo.cols[order].reshape(coo.shape[0], k)
+        vals = coo.values[order].reshape(coo.shape[0], k)
+    else:
+        cols, vals = regular
+        k = cols.shape[1]
+    vals = vals.astype(dtype, copy=False)
     if X.ndim == 1:
         out = vals[:, 0] * X[cols[:, 0]]
         for j in range(1, k):

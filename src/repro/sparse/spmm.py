@@ -8,6 +8,13 @@ This module implements the operation the whole paper hinges on:
 is the (learnable) embedding matrix.  Both the forward and backward pass are a
 single SpMM, so one optimized kernel replaces the per-triplet gathers of the
 forward pass and the per-triplet scatter-adds of the backward pass.
+
+With ``sparse_grad=True`` the backward pass goes one step further: instead of
+densifying ``A^T @ grad`` into a full ``(K, d)`` array, it reads the non-zero
+structure of ``A`` directly and emits a
+:class:`~repro.sparse.rowsparse.RowSparseGrad` holding only the rows of ``X``
+that the batch actually touched.  Per-step backward cost then scales with the
+batch (``O(nnz * d)``) instead of the vocabulary (``O(K * d)``).
 """
 
 from __future__ import annotations
@@ -17,15 +24,18 @@ from typing import Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.autograd.function import count_flops
 from repro.autograd.tensor import Tensor
 from repro.sparse.backends import (
     DEFAULT_BACKEND,
     SparseLike,
     SpMMBackend,
+    _as_coo,
     get_backend,
 )
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.rowsparse import RowSparseGrad
 
 
 def _transpose(A: SparseLike):
@@ -36,11 +46,34 @@ def _transpose(A: SparseLike):
     raise TypeError(f"expected a sparse matrix, got {type(A)!r}")
 
 
+def _rowsparse_backward(A: SparseLike, grad: np.ndarray, n_rows: int) -> RowSparseGrad:
+    """Backward SpMM ``A^T @ grad`` emitted directly in row-sparse form.
+
+    Each stored entry ``(r, c, v)`` of ``A`` contributes ``v * grad[r]`` to
+    output row ``c``, so the whole product is one gather, one scale, and one
+    coalesce over ``nnz`` rows — no ``(K, d)`` densification and no transpose.
+    """
+    coo = _as_coo(A)
+    vals = coo.values.astype(grad.dtype, copy=False)
+    contributions = vals[:, None] * grad[coo.rows]
+    out = RowSparseGrad.from_rows(coo.cols, contributions, (n_rows,) + grad.shape[1:])
+    d = grad.shape[1] if grad.ndim > 1 else 1
+    row_bytes = grad.itemsize * d
+    count_flops(
+        "spmm_bwd[rowsparse]",
+        2 * coo.nnz * d,
+        bytes_streamed=2 * coo.nnz * row_bytes + out.values.nbytes,
+        bytes_unique=out.n_rows * row_bytes + out.values.nbytes,
+    )
+    return out
+
+
 def spmm(
     A: SparseLike,
     X: Tensor,
     backend: Union[str, SpMMBackend] = DEFAULT_BACKEND,
     A_t: Optional[SparseLike] = None,
+    sparse_grad: bool = False,
 ) -> Tensor:
     """Differentiable ``A @ X`` where ``A`` is sparse and constant.
 
@@ -56,6 +89,12 @@ def spmm(
     A_t:
         Optional pre-transposed ``A``.  The trainer caches this so repeated
         backward passes do not pay the transpose each step.
+    sparse_grad:
+        Emit the backward product ``A^T @ grad`` as a
+        :class:`~repro.sparse.rowsparse.RowSparseGrad` instead of a dense
+        ``(K, d)`` array.  Only takes effect when ``X`` is a leaf tensor (a
+        parameter) and the upstream gradient is 2-D; otherwise the dense
+        backward runs as usual.
 
     Returns
     -------
@@ -66,10 +105,14 @@ def spmm(
     out_data = kernel(A, X_t.data)
 
     transposed = A_t
+    n_rows = X_t.shape[0]
 
     def backward(grad: np.ndarray) -> None:
         nonlocal transposed
         if not X_t.requires_grad:
+            return
+        if sparse_grad and X_t.is_leaf and grad.ndim == 2:
+            X_t.accumulate_grad(_rowsparse_backward(A, grad, n_rows))
             return
         if transposed is None:
             transposed = _transpose(A)

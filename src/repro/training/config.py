@@ -38,6 +38,16 @@ class TrainingConfig:
         Seed for batching and negative sampling.
     log_every:
         Emit a log record every this many epochs (0 disables logging).
+    sparse_grads:
+        Route gradients through the row-sparse pipeline
+        (``repro.sparse.rowsparse``): the SpMM backward emits only the
+        embedding rows the batch touched and the optimizer scatter-updates
+        just those rows, so step cost scales with the batch instead of the
+        vocabulary.  Exact for SGD/Adagrad; lazy (SparseAdam-style) for Adam.
+        Off by default — models without a sparse path ignore it.  The
+        :class:`~repro.training.trainer.Trainer` applies this flag to the
+        model in both directions, overriding any earlier
+        ``set_sparse_grads`` call.
     """
 
     epochs: int = 100
@@ -50,6 +60,7 @@ class TrainingConfig:
     shuffle: bool = True
     seed: Optional[int] = 0
     log_every: int = 0
+    sparse_grads: bool = False
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:

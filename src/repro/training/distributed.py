@@ -108,6 +108,8 @@ class DataParallelTrainer:
         self.dataset = dataset
         self.n_workers = int(n_workers)
         self.config = config if config is not None else TrainingConfig()
+        if hasattr(model, "set_sparse_grads"):
+            model.set_sparse_grads(self.config.sparse_grads)
         self.comm_model = comm_model if comm_model is not None else CommunicationModel()
         self.optimizer = build_optimizer(self.config.optimizer, model,
                                          self.config.learning_rate)
@@ -121,6 +123,9 @@ class DataParallelTrainer:
             regenerate_negatives=self.config.regenerate_negatives,
             rng=rng,
         )
+        #: Dense-path all-reduce volume (full parameter bytes).  An upper
+        #: bound only: each step charges the communication model for the
+        #: bytes actually exchanged, which shrink under ``sparse_grads``.
         self.gradient_nbytes = sum(p.nbytes for p in model.parameters())
 
     # ------------------------------------------------------------------ #
@@ -144,27 +149,43 @@ class DataParallelTrainer:
         """
         shards = self._shard(batch)
         params = list(self.model.parameters())
-        accumulated = [np.zeros_like(p.data) for p in params]
         worker_times: List[float] = []
         losses: List[float] = []
+        # Shard gradients accumulate directly on the parameters through
+        # ``Tensor.accumulate_grad``, which keeps them row-sparse as long as
+        # every shard contributes a row-sparse gradient; reading ``.grad``
+        # eagerly here would densify each shard and forfeit the sparse path.
+        # Simulation caveat: the cross-shard merge rides inside the timed
+        # region of later shards, and the sparse all-reduce below is charged
+        # for the merged rows (a lower bound on per-worker messages) — both
+        # approximations of a real DDP exchange, like the dense-bucket model
+        # before it.
+        self.model.zero_grad()
         for shard in shards:
             start = time.perf_counter()
-            self.model.zero_grad()
             loss = self.model.loss(shard, self.criterion)
             loss.backward()
             worker_times.append(time.perf_counter() - start)
             losses.append(float(loss.item()))
-            for accum, param in zip(accumulated, params):
-                if param.grad is not None:
-                    accum += param.grad
-        # All-reduce: average the shard gradients, install, and step once.
+        # All-reduce: average the accumulated gradients, install, step once.
         n_shards = max(len(shards), 1)
-        self.model.zero_grad()
-        for accum, param in zip(accumulated, params):
-            param.grad = accum / n_shards
+        grad_nbytes = 0
+        for param in params:
+            sparse = param.sparse_grad
+            if sparse is not None:
+                param.grad = sparse.scale(1.0 / n_shards)
+                grad_nbytes += sparse.nbytes
+            elif param.grad is not None:
+                param.grad /= n_shards
+                grad_nbytes += param.grad.nbytes
+            else:
+                param.grad = np.zeros_like(param.data)
+                grad_nbytes += param.nbytes
         self.optimizer.step()
         compute = max(worker_times) if worker_times else 0.0
-        comm = self.comm_model.allreduce_time(self.n_workers, self.gradient_nbytes)
+        # Charge the all-reduce for the bytes actually exchanged: full dense
+        # buffers, or just the packed rows when the gradients stayed sparse.
+        comm = self.comm_model.allreduce_time(self.n_workers, grad_nbytes)
         return float(np.mean(losses)) if losses else float("nan"), compute, comm
 
     def train(self, epochs: Optional[int] = None) -> ScalingResult:

@@ -137,6 +137,10 @@ class Trainer:
         self.model = model
         self.dataset = dataset
         self.config = config if config is not None else TrainingConfig()
+        # The config owns the gradient-path choice: apply it both ways so a
+        # model reused across trainers does not keep a stale sparse setting.
+        if hasattr(model, "set_sparse_grads"):
+            model.set_sparse_grads(self.config.sparse_grads)
         self.optimizer = optimizer if optimizer is not None else build_optimizer(
             self.config.optimizer, model, self.config.learning_rate
         )

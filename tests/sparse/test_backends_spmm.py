@@ -97,6 +97,75 @@ class TestBackendCorrectness:
         X = np.ones((4, 2))
         np.testing.assert_allclose(get_backend("fused")(A, X), np.zeros((3, 2)))
 
+    def test_fused_sorted_fast_path_matches_sorted_input(self):
+        """Incidence-style matrices (rows pre-sorted) must skip the sort and
+        still produce the same result as a shuffled copy of the same matrix."""
+        rng = np.random.default_rng(1)
+        rows = np.repeat(np.arange(6), 3)
+        cols = rng.integers(0, 9, rows.size)
+        vals = rng.standard_normal(rows.size)
+        sorted_A = COOMatrix(rows, cols, vals, (6, 9))
+        perm = rng.permutation(rows.size)
+        shuffled_A = COOMatrix(rows[perm], cols[perm], vals[perm], (6, 9))
+        X = rng.standard_normal((9, 4))
+        fused = get_backend("fused")
+        np.testing.assert_allclose(fused(sorted_A, X), fused(shuffled_A, X),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(fused(sorted_A, X), sorted_A.to_dense() @ X,
+                                   rtol=1e-10)
+
+
+class TestBackendDtypePreservation:
+    """float32 inputs must stay float32 — no silent upcast to float64."""
+
+    @pytest.fixture
+    def incidence(self):
+        rows = np.repeat(np.arange(4), 3)
+        cols = np.array([0, 4, 1, 2, 4, 3, 1, 5, 0, 3, 4, 2])
+        vals = np.tile([1.0, 1.0, -1.0], 4)
+        return COOMatrix(rows, cols, vals, (4, 6))
+
+    @pytest.mark.parametrize("name", ["scipy", "numpy", "fused"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_output_preserves_float_dtype(self, name, dtype, incidence):
+        X = np.random.default_rng(0).standard_normal((6, 3)).astype(dtype)
+        out = get_backend(name)(incidence, X)
+        assert out.dtype == dtype
+
+    @pytest.mark.parametrize("name", ["numpy", "fused"])
+    def test_vector_rhs_preserves_dtype(self, name, incidence):
+        x = np.ones(6, dtype=np.float32)
+        assert get_backend(name)(incidence, x).dtype == np.float32
+
+    def test_fused_empty_matrix_preserves_dtype(self):
+        A = COOMatrix([], [], [], (3, 4))
+        X = np.ones((4, 2), dtype=np.float32)
+        out = get_backend("fused")(A, X)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, 0.0)
+
+    @pytest.mark.parametrize("name", ["scipy", "numpy", "fused"])
+    def test_float16_computes_at_float32_everywhere(self, name, incidence):
+        """SciPy has no float16 sparse kernels, so the shared contract
+        promotes half precision to float32 on every backend alike."""
+        X = np.ones((6, 2), dtype=np.float16)
+        out = get_backend(name)(incidence, X)
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("name", ["scipy", "numpy", "fused"])
+    def test_integer_rhs_promotes_to_float64(self, name, incidence):
+        X = np.ones((6, 2), dtype=np.int64)
+        assert get_backend(name)(incidence, X).dtype == np.float64
+
+    def test_float32_parity_across_backends(self, incidence):
+        X = np.random.default_rng(2).standard_normal((6, 5)).astype(np.float32)
+        results = {name: get_backend(name)(incidence, X)
+                   for name in ("scipy", "numpy", "fused")}
+        reference = incidence.to_dense().astype(np.float32) @ X
+        for name, out in results.items():
+            np.testing.assert_allclose(out, reference, rtol=1e-5,
+                                       err_msg=f"backend {name}")
+
 
 class TestSpmmAutograd:
     @pytest.mark.parametrize("backend", ["scipy", "numpy", "fused"])
