@@ -1,0 +1,193 @@
+"""Inference serving throughput: batch coalescing and the LRU result cache.
+
+What this harness shows
+-----------------------
+A serving process answering top-k queries one at a time pays the Python and
+kernel-dispatch overhead of a full ``score_all_tails`` pass per query; the
+:class:`~repro.serving.engine.InferenceEngine` instead coalesces a window of
+concurrent queries into one vectorised scoring call, and short-circuits
+repeated queries from an LRU cache.  Two experiments:
+
+* **coalescing** — the same Q distinct queries answered (a) one engine call
+  per query and (b) as coalesced batches of ``--batch`` queries.  The batched
+  path should win by well over 2x at 64 concurrent queries.
+* **cache sweep** — a skewed (Zipf-like) query stream replayed against
+  increasing cache capacities, reporting hit-rate and queries/sec: the
+  serving-cost story for power-law entity popularity.
+
+Run ``python -m benchmarks.bench_inference_throughput --quick`` for a
+seconds-long smoke version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+import pytest
+
+from benchmarks.common import format_table
+from repro.registry import ModelSpec, build_model
+from repro.serving import InferenceEngine, TopKQuery
+
+
+def _make_engine(n_entities: int, dim: int, cache_size: int = 0,
+                 seed: int = 0) -> InferenceEngine:
+    model = build_model(ModelSpec(model="transe", formulation="sparse",
+                                  n_entities=n_entities, n_relations=64,
+                                  embedding_dim=dim), rng=seed)
+    return InferenceEngine(model, cache_size=cache_size)
+
+
+def _distinct_queries(n_queries: int, n_entities: int, n_relations: int = 64,
+                      k: int = 10, seed: int = 0) -> List[TopKQuery]:
+    """Distinct (head, relation) pairs so caching/dedup cannot help either path."""
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < n_queries:
+        pairs.add((int(rng.integers(0, n_entities)), int(rng.integers(0, n_relations))))
+    return [TopKQuery(h, r, k) for h, r in sorted(pairs)]
+
+
+def _zipf_queries(n_queries: int, n_distinct: int, n_entities: int,
+                  k: int = 10, seed: int = 0) -> List[TopKQuery]:
+    """A skewed stream over ``n_distinct`` pairs (rank-(i+1) weight ~ 1/(i+1))."""
+    rng = np.random.default_rng(seed)
+    universe = _distinct_queries(n_distinct, n_entities, k=k, seed=seed)
+    weights = 1.0 / np.arange(1, n_distinct + 1)
+    weights /= weights.sum()
+    picks = rng.choice(n_distinct, size=n_queries, p=weights)
+    return [universe[i] for i in picks]
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 1: batch coalescing
+# --------------------------------------------------------------------------- #
+def run_coalescing(n_entities: int, dim: int, n_queries: int,
+                   batch_size: int) -> Dict[str, float]:
+    """Queries/sec answered one at a time vs in coalesced batches."""
+    engine = _make_engine(n_entities, dim, cache_size=0)
+    queries = _distinct_queries(n_queries, n_entities)
+
+    engine.top_k_tails(0, 0, k=10)  # warm-up: allocator, closed-form path
+
+    start = time.perf_counter()
+    for q in queries:
+        engine.top_k_tails(q.anchor, q.relation, k=q.k)
+    single_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for offset in range(0, n_queries, batch_size):
+        engine.top_k_tails_batch(queries[offset:offset + batch_size])
+    batched_s = time.perf_counter() - start
+
+    return {
+        "n_queries": n_queries,
+        "batch": batch_size,
+        "single_qps": n_queries / max(single_s, 1e-12),
+        "batched_qps": n_queries / max(batched_s, 1e-12),
+        "speedup": single_s / max(batched_s, 1e-12),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Experiment 2: cache hit-rate sweep
+# --------------------------------------------------------------------------- #
+def run_cache_sweep(n_entities: int, dim: int, n_queries: int,
+                    n_distinct: int, capacities: List[int]) -> List[Dict[str, float]]:
+    """Replay one skewed stream against each cache capacity."""
+    stream = _zipf_queries(n_queries, n_distinct, n_entities)
+    rows = []
+    for capacity in capacities:
+        engine = _make_engine(n_entities, dim, cache_size=capacity)
+        engine.top_k_tails(0, 0, k=10)    # warm-up, excluded from the counters
+        engine.cache.clear()
+        engine.cache.reset_stats()
+        warmup_calls = engine.stats()["scoring_calls"]
+        start = time.perf_counter()
+        for q in stream:
+            engine.top_k_tails(q.anchor, q.relation, k=q.k)
+        elapsed = time.perf_counter() - start
+        stats = engine.cache.stats()
+        rows.append({
+            "cache_capacity": capacity,
+            "hit_rate": stats["hit_rate"],
+            "qps": n_queries / max(elapsed, 1e-12),
+            "scoring_calls": engine.stats()["scoring_calls"] - warmup_calls,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points (small scale)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("batched", [False, True], ids=["single", "batched"])
+def test_topk_throughput(benchmark, batched):
+    """Time 32 distinct top-k queries, one call per query vs one batched call."""
+    engine = _make_engine(2_000, 32, cache_size=0)
+    queries = _distinct_queries(32, 2_000)
+    engine.top_k_tails(0, 0, k=10)
+
+    def single():
+        for q in queries:
+            engine.top_k_tails(q.anchor, q.relation, k=q.k)
+
+    def coalesced():
+        engine.top_k_tails_batch(queries)
+
+    benchmark.group = "inference-topk-32-queries"
+    benchmark.extra_info["batched"] = batched
+    benchmark(coalesced if batched else single)
+
+
+def test_cached_repeat_query(benchmark):
+    """A repeated hot query should be answered from the LRU, not rescored."""
+    engine = _make_engine(2_000, 32, cache_size=64)
+    engine.top_k_tails(1, 1, k=10)
+    benchmark.group = "inference-cache"
+    benchmark(engine.top_k_tails, 1, 1, 10)
+    assert engine.cache.stats()["hit_rate"] > 0.9
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--entities", type=int, default=20_000)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=256,
+                        help="total queries per experiment")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="coalesced batch size (the concurrency level)")
+    parser.add_argument("--distinct", type=int, default=128,
+                        help="distinct (head, relation) pairs in the cache sweep")
+    parser.add_argument("--cache-sizes", type=int, nargs="+",
+                        default=[0, 16, 64, 256])
+    parser.add_argument("--quick", action="store_true",
+                        help="small vocabulary/dimension for a smoke run")
+    args = parser.parse_args()
+
+    entities, dim, queries, batch, distinct = (
+        args.entities, args.dim, args.queries, args.batch, args.distinct)
+    if args.quick:
+        entities, dim = min(entities, 2_000), min(dim, 32)
+        queries, batch, distinct = min(queries, 128), min(batch, 32), min(distinct, 64)
+
+    coalescing = run_coalescing(entities, dim, queries, batch)
+    print(format_table(
+        [coalescing],
+        ["n_queries", "batch", "single_qps", "batched_qps", "speedup"],
+        title=f"Batch coalescing (SpTransE, N={entities}, d={dim})",
+    ))
+    print()
+    sweep = run_cache_sweep(entities, dim, queries, distinct, args.cache_sizes)
+    print(format_table(
+        sweep,
+        ["cache_capacity", "hit_rate", "qps", "scoring_calls"],
+        title=f"LRU cache sweep ({queries} Zipf-skewed queries over "
+              f"{distinct} distinct pairs)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

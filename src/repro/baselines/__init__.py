@@ -15,16 +15,13 @@ from repro.baselines.transh import DenseTransH
 from repro.baselines.toruse import DenseTorusE
 from repro.baselines.transd import DenseTransD
 from repro.baselines.semiring_models import DenseDistMult, DenseComplEx
+from repro.registry import models_by_formulation
 
-DENSE_MODELS = {
-    "transe": DenseTransE,
-    "transr": DenseTransR,
-    "transh": DenseTransH,
-    "toruse": DenseTorusE,
-    "transd": DenseTransD,
-    "distmult": DenseDistMult,
-    "complex": DenseComplEx,
-}
+#: Legacy name → class mapping, snapshotted from ``repro.registry`` at import
+#: time (each baseline class registers itself via ``@register_model``).  Models
+#: registered later appear in the registry but not here — new code should use
+#: ``repro.registry.get_entry``/``models_by_formulation`` directly.
+DENSE_MODELS = models_by_formulation("dense")
 
 __all__ = [
     "DenseTransE",

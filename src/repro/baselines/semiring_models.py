@@ -16,10 +16,13 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 from repro.models.base import KGEModel
 from repro.nn.embedding import Embedding
+from repro.registry import register_model
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("distmult", "dense", supports_sparse_grads=True,
+                formulation_tag="dense-gather-bilinear")
 class DenseDistMult(KGEModel):
     """DistMult scored from three gathered blocks: ``sum_j h_j r_j t_j``."""
 
@@ -53,6 +56,8 @@ class DenseDistMult(KGEModel):
         return cfg
 
 
+@register_model("complex", "dense", supports_sparse_grads=True,
+                formulation_tag="dense-gather-complex")
 class DenseComplEx(KGEModel):
     """ComplEx scored from gathered real/imaginary blocks."""
 

@@ -7,8 +7,12 @@ from typing import Dict
 import numpy as np
 
 from repro.baselines.transe import DenseTransE
+from repro.registry import register_model
 
 
+@register_model("toruse", "dense", accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="dense-gather-torus",
+                default_dissimilarity="torus_L2")
 class DenseTorusE(DenseTransE):
     """TorusE scored with separate gathers and the toroidal dissimilarity."""
 

@@ -18,10 +18,15 @@ from repro.autograd.ops import row_dot
 from repro.autograd.tensor import Tensor
 from repro.models.base import TranslationalModel
 from repro.nn.embedding import Embedding
+from repro.registry import register_model
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transd", "dense", accepts_dissimilarity=True,
+                supports_sparse_grads=True,
+                formulation_tag="dense-gather+dynamic-mapping",
+                default_dissimilarity="L2")
 class DenseTransD(TranslationalModel):
     """TransD with dynamic mapping vectors for entities and relations.
 

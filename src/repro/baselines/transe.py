@@ -9,10 +9,14 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 from repro.models.base import TranslationalModel
 from repro.nn.embedding import Embedding
+from repro.registry import register_model
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transe", "dense", accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="dense-gather",
+                default_dissimilarity="L2")
 class DenseTransE(TranslationalModel):
     """TransE scored with three separate embedding gathers per batch.
 

@@ -10,10 +10,15 @@ from repro.autograd.ops import normalize_rows, row_dot
 from repro.autograd.tensor import Tensor
 from repro.models.base import TranslationalModel
 from repro.nn.embedding import Embedding
+from repro.registry import register_model
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transh", "dense", accepts_dissimilarity=True,
+                supports_sparse_grads=True,
+                formulation_tag="dense-gather+double-hyperplane",
+                default_dissimilarity="L2")
 class DenseTransH(TranslationalModel):
     """TransH with per-operand hyperplane projections.
 

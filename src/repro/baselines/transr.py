@@ -12,10 +12,15 @@ from repro.models.base import TranslationalModel
 from repro.nn import init
 from repro.nn.embedding import Embedding
 from repro.nn.parameter import Parameter
+from repro.registry import register_model
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transr", "dense", accepts_relation_dim=True, accepts_dissimilarity=True,
+                supports_sparse_grads=True,
+                formulation_tag="dense-gather+double-projection",
+                default_dissimilarity="L2")
 class DenseTransR(TranslationalModel):
     """TransR with per-operand gathers: head and tail are projected separately.
 

@@ -1,7 +1,7 @@
-"""Command-line interface for training and evaluating KGE models.
+"""Command-line interface for training, evaluating, and serving KGE models.
 
 The paper's artifact ships one training script per (framework, model) pair;
-this CLI folds them into one entry point:
+this CLI folds them into one entry point and adds an inference surface:
 
 .. code-block:: bash
 
@@ -12,10 +12,14 @@ this CLI folds them into one entry point:
     # train the dense baseline on a CSV dump
     sptransx train --model transh --formulation dense --triples-file kg.csv
 
-    # evaluate a checkpoint
+    # evaluate a checkpoint (model reconstructed from its stored ModelSpec)
     sptransx evaluate --checkpoint /tmp/transe.npz --dataset FB15K --scale 0.01
 
-    # list datasets / models / SpMM backends
+    # serve the checkpoint over JSON/HTTP and query it
+    sptransx serve --checkpoint /tmp/transe.npz --port 8080
+    sptransx query --url http://127.0.0.1:8080 --head 12 --relation 3 -k 10
+
+    # list datasets / models / SpMM backends / registry capabilities
     sptransx info
 """
 
@@ -24,7 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
 
 from repro.baselines import DENSE_MODELS
 from repro.data import (
@@ -35,14 +41,22 @@ from repro.data import (
 from repro.data.catalog import PAPER_DATASETS
 from repro.evaluation import evaluate_link_prediction
 from repro.models import SPARSE_MODELS
+from repro.registry import (
+    ModelSpec,
+    UnknownModelError,
+    build_model,
+    registry_summary,
+)
 from repro.sparse import available_backends
 from repro.training import Trainer, TrainingConfig
-from repro.training.checkpoint import load_checkpoint, restore_into, save_checkpoint
+from repro.training.checkpoint import (
+    load_checkpoint,
+    model_from_checkpoint,
+    restore_into,
+    save_checkpoint,
+)
 from repro.training.trainer import build_optimizer
 from repro.utils.logging import enable_console_logging
-
-#: Models that accept a ``relation_dim`` keyword.
-_PROJECTION_MODELS = {"transr"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,8 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--formulation", default="sparse", choices=["sparse", "dense"])
     train.add_argument("--dim", type=int, default=64, help="embedding dimension")
     train.add_argument("--relation-dim", type=int, default=None,
-                       help="relation-space dimension (TransR only)")
-    train.add_argument("--backend", default="scipy", help="SpMM backend (sparse models)")
+                       help="relation-space dimension (projection models only)")
+    train.add_argument("--backend", default=None,
+                       help="SpMM backend (sparse models; default scipy)")
+    train.add_argument("--dissimilarity", default=None,
+                       help="distance function, e.g. L1/L2/torus_L2 "
+                            "(models that accept one; default per model)")
     train.add_argument("--epochs", type=int, default=100)
     train.add_argument("--batch-size", type=int, default=32768)
     train.add_argument("--learning-rate", type=float, default=4e-4)
@@ -81,6 +99,46 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--checkpoint", required=True)
     evaluate.add_argument("--ks", type=int, nargs="+", default=[1, 3, 10])
     evaluate.add_argument("--split", default="test", choices=["test", "valid", "train"])
+
+    serve = sub.add_parser("serve", help="serve a checkpoint over JSON/HTTP")
+    _add_data_arguments(serve)
+    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU entries for materialised top-k answers (0 disables)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="answer each request with its own scoring call "
+                            "instead of micro-batching concurrent queries")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="largest coalesced query batch")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="how long to hold an open batch for more queries")
+    serve.add_argument("--filtered", action="store_true",
+                       help="load the dataset named by the data arguments and "
+                            "install its triples as known positives, enabling "
+                            "filtered=true queries")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
+    query = sub.add_parser("query", help="query a running `sptransx serve` endpoint")
+    query.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the serving endpoint")
+    query.add_argument("--head", type=int, default=None)
+    query.add_argument("--relation", type=int, default=None)
+    query.add_argument("--tail", type=int, default=None)
+    query.add_argument("--nearest", type=int, default=None, metavar="ENTITY",
+                       help="embedding-space nearest neighbours of an entity")
+    query.add_argument("-k", "--k", type=int, default=10, dest="k")
+    query.add_argument("--filtered", action="store_true",
+                       help="exclude known positives from the ranking")
+    query.add_argument("--threshold", type=float, default=None,
+                       help="classify the triple instead of scoring it")
+    query.add_argument("--timeout", type=float, default=30.0,
+                       help="seconds to wait for the server before giving up")
+    query.add_argument("--stats", action="store_true",
+                       help="fetch serving statistics instead of querying")
 
     sub.add_parser("info", help="list datasets, models, and SpMM backends")
     return parser
@@ -110,20 +168,26 @@ def _load_dataset(args: argparse.Namespace) -> KGDataset:
                              test_fraction=args.test_fraction)
 
 
+def _spec_from_args(args: argparse.Namespace, kg: KGDataset) -> ModelSpec:
+    """Translate CLI arguments into the :class:`ModelSpec` to build and save."""
+    return ModelSpec(
+        model=args.model,
+        formulation=args.formulation,
+        n_entities=kg.n_entities,
+        n_relations=kg.n_relations,
+        embedding_dim=args.dim,
+        relation_dim=args.relation_dim,
+        backend=args.backend,
+        dissimilarity=args.dissimilarity,
+        sparse_grads=bool(getattr(args, "sparse_grads", False)),
+    )
+
+
 def _build_model(args: argparse.Namespace, kg: KGDataset):
-    registry = SPARSE_MODELS if args.formulation == "sparse" else DENSE_MODELS
-    if args.model not in registry:
-        raise SystemExit(
-            f"model {args.model!r} has no {args.formulation} implementation; "
-            f"available: {sorted(registry)}"
-        )
-    kwargs = {}
-    if args.model in _PROJECTION_MODELS and args.relation_dim is not None:
-        kwargs["relation_dim"] = args.relation_dim
-    if args.formulation == "sparse" and args.model in ("transe", "transr", "transh", "toruse"):
-        kwargs["backend"] = args.backend
-    cls = registry[args.model]
-    return cls(kg.n_entities, kg.n_relations, args.dim, rng=args.seed, **kwargs)
+    try:
+        return build_model(_spec_from_args(args, kg), rng=args.seed)
+    except (UnknownModelError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _command_train(args: argparse.Namespace) -> int:
@@ -169,22 +233,18 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _restore_model(checkpoint_path: str):
+    """Rebuild a checkpointed model through its stored spec, with CLI-grade errors."""
+    checkpoint = load_checkpoint(checkpoint_path)
+    try:
+        return model_from_checkpoint(checkpoint)
+    except (UnknownModelError, ValueError) as exc:
+        raise SystemExit(f"cannot reconstruct model from {checkpoint_path}: {exc}") from exc
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     kg = _load_dataset(args)
-    checkpoint = load_checkpoint(args.checkpoint)
-    saved = checkpoint.metadata.get("model_config", {})
-    model_name = str(saved.get("model", "")).lower()
-    registry = {**{f"sp{k}": v for k, v in SPARSE_MODELS.items()},
-                **{f"dense{k}": v for k, v in DENSE_MODELS.items()}}
-    cls = registry.get(model_name)
-    if cls is None:
-        raise SystemExit(f"cannot reconstruct model class {saved.get('model')!r}")
-    kwargs = {}
-    if "relation_dim" in saved and saved.get("relation_dim") != saved.get("embedding_dim"):
-        kwargs["relation_dim"] = int(saved["relation_dim"])
-    model = cls(int(saved["n_entities"]), int(saved["n_relations"]),
-                int(saved["embedding_dim"]), rng=0, **kwargs)
-    restore_into(checkpoint, model)
+    model = _restore_model(args.checkpoint)
 
     split = {"test": kg.split.test, "valid": kg.split.valid, "train": kg.split.train}[args.split]
     if split.shape[0] == 0:
@@ -192,6 +252,120 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     metrics = evaluate_link_prediction(model, split, known_triples=kg.known_triples(),
                                        ks=args.ks)
     print(json.dumps(metrics.to_dict(), indent=2))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serving import InferenceEngine, make_server
+
+    model = _restore_model(args.checkpoint)
+    engine = InferenceEngine(model, cache_size=args.cache_size)
+    if args.filtered:
+        kg = _load_dataset(args)
+        if (kg.n_entities, kg.n_relations) != (model.n_entities, model.n_relations):
+            raise SystemExit(
+                f"dataset vocabulary ({kg.n_entities} entities, {kg.n_relations} "
+                f"relations) does not match the checkpoint ({model.n_entities}, "
+                f"{model.n_relations}); filtered serving needs the training data"
+            )
+        engine.set_known_triples(kg.known_triples())
+    server = make_server(engine, host=args.host, port=args.port,
+                         coalesce=not args.no_coalesce, max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms, verbose=args.verbose)
+    print(json.dumps({"serving": server.url,
+                      "model": type(model).__name__,
+                      "spec": engine.spec().to_dict(),
+                      "coalesce": not args.no_coalesce,
+                      "filtered": args.filtered}), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _http_json(url: str, payload: Optional[Dict] = None,
+               timeout: float = 30.0) -> Dict:
+    """One JSON request against the serving endpoint (POST when payload given)."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(url, data=data,
+                                     headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except TimeoutError as exc:
+        raise SystemExit(f"request to {url} timed out after {timeout:g}s") from exc
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+        except Exception:  # noqa: BLE001 — body may not be JSON
+            detail = str(exc)
+        raise SystemExit(f"server rejected the request: {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def _reject_query_flags(args: argparse.Namespace, mode: str, *flags: str) -> None:
+    """Fail loudly when a flag that this query mode ignores was supplied."""
+    supplied = {"--filtered": args.filtered,
+                "--threshold": args.threshold is not None,
+                "--head": args.head is not None,
+                "--relation": args.relation is not None,
+                "--tail": args.tail is not None,
+                "--nearest": args.nearest is not None}
+    ignored = [flag for flag in flags if supplied[flag]]
+    if ignored:
+        raise SystemExit(f"{', '.join(ignored)} does not apply to a {mode} query")
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    timeout = args.timeout
+    if args.stats:
+        _reject_query_flags(args, "--stats", "--filtered", "--threshold",
+                            "--head", "--relation", "--tail", "--nearest")
+        print(json.dumps(_http_json(base + "/v1/stats", timeout=timeout), indent=2))
+        return 0
+    if args.nearest is not None:
+        _reject_query_flags(args, "--nearest", "--filtered", "--threshold",
+                            "--head", "--relation", "--tail")
+        out = _http_json(base + "/v1/nearest",
+                         {"entity": args.nearest, "k": args.k}, timeout=timeout)
+        print(json.dumps(out, indent=2))
+        return 0
+    have = {name for name in ("head", "relation", "tail")
+            if getattr(args, name) is not None}
+    if have == {"head", "relation", "tail"}:
+        _reject_query_flags(args, "score/classify", "--filtered")
+        triple = [[args.head, args.relation, args.tail]]
+        if args.threshold is not None:
+            out = _http_json(base + "/v1/classify",
+                             {"triples": triple, "threshold": args.threshold},
+                             timeout=timeout)
+        else:
+            out = _http_json(base + "/v1/score", {"triples": triple},
+                             timeout=timeout)
+    elif have == {"head", "relation"}:
+        _reject_query_flags(args, "top-k", "--threshold")
+        out = _http_json(base + "/v1/top_k_tails",
+                         {"head": args.head, "relation": args.relation,
+                          "k": args.k, "filtered": args.filtered},
+                         timeout=timeout)
+    elif have == {"relation", "tail"}:
+        _reject_query_flags(args, "top-k", "--threshold")
+        out = _http_json(base + "/v1/top_k_heads",
+                         {"tail": args.tail, "relation": args.relation,
+                          "k": args.k, "filtered": args.filtered},
+                         timeout=timeout)
+    else:
+        raise SystemExit(
+            "specify --head and --relation (top-k tails), --relation and --tail "
+            "(top-k heads), all three (score/classify), --nearest ENTITY "
+            "(embedding neighbours), or --stats"
+        )
+    print(json.dumps(out, indent=2))
     return 0
 
 
@@ -203,6 +377,7 @@ def _command_info(_: argparse.Namespace) -> int:
         "sparse_models": sorted(SPARSE_MODELS),
         "dense_models": sorted(DENSE_MODELS),
         "spmm_backends": available_backends(),
+        "registry": registry_summary(),
     }
     print(json.dumps(info, indent=2))
     return 0
@@ -212,14 +387,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "train":
-        return _command_train(args)
-    if args.command == "evaluate":
-        return _command_evaluate(args)
-    if args.command == "info":
-        return _command_info(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    commands = {
+        "train": _command_train,
+        "evaluate": _command_evaluate,
+        "serve": _command_serve,
+        "query": _command_query,
+        "info": _command_info,
+    }
+    handler = commands.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -23,19 +23,13 @@ from repro.models.transh import SpTransH
 from repro.models.toruse import SpTorusE
 from repro.models.semiring_models import SpDistMult, SpComplEx, SpRotatE
 from repro.models.extensions import SpTransA, SpTransC, SpTransM
+from repro.registry import models_by_formulation
 
-SPARSE_MODELS = {
-    "transe": SpTransE,
-    "transr": SpTransR,
-    "transh": SpTransH,
-    "toruse": SpTorusE,
-    "transm": SpTransM,
-    "transc": SpTransC,
-    "transa": SpTransA,
-    "distmult": SpDistMult,
-    "complex": SpComplEx,
-    "rotate": SpRotatE,
-}
+#: Legacy name → class mapping, snapshotted from ``repro.registry`` at import
+#: time (each model class registers itself via ``@register_model``).  Models
+#: registered later appear in the registry but not here — new code should use
+#: ``repro.registry.get_entry``/``models_by_formulation`` directly.
+SPARSE_MODELS = models_by_formulation("sparse")
 
 __all__ = [
     "KGEModel",

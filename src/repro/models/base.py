@@ -116,17 +116,8 @@ class KGEModel(Module):
         relations = np.asarray(relations, dtype=np.int64).reshape(-1)
         if heads.shape != relations.shape:
             raise ValueError("heads and relations must have equal length")
-        b = heads.shape[0]
-        candidates = np.arange(self.n_entities, dtype=np.int64)
-        out = np.empty((b, self.n_entities), dtype=np.float64)
-        for i in range(b):
-            triples = np.column_stack([
-                np.full(self.n_entities, heads[i], dtype=np.int64),
-                np.full(self.n_entities, relations[i], dtype=np.int64),
-                candidates,
-            ])
-            out[i] = self.score_triples(triples, chunk_size=chunk_size)
-        return out
+        return self._score_all_generic(heads, relations, position="tail",
+                                       chunk_size=chunk_size)
 
     def score_all_heads(self, relations: np.ndarray, tails: np.ndarray,
                         chunk_size: int = 65536) -> np.ndarray:
@@ -135,27 +126,79 @@ class KGEModel(Module):
         tails = np.asarray(tails, dtype=np.int64).reshape(-1)
         if tails.shape != relations.shape:
             raise ValueError("tails and relations must have equal length")
-        b = tails.shape[0]
-        candidates = np.arange(self.n_entities, dtype=np.int64)
-        out = np.empty((b, self.n_entities), dtype=np.float64)
-        for i in range(b):
-            triples = np.column_stack([
-                candidates,
-                np.full(self.n_entities, relations[i], dtype=np.int64),
-                np.full(self.n_entities, tails[i], dtype=np.int64),
-            ])
-            out[i] = self.score_triples(triples, chunk_size=chunk_size)
+        return self._score_all_generic(relations, tails, position="head",
+                                       chunk_size=chunk_size)
+
+    def _score_all_generic(self, first: np.ndarray, second: np.ndarray,
+                           position: str, chunk_size: int) -> np.ndarray:
+        """Candidate-expansion ranking shared by the two ``score_all_*`` fallbacks.
+
+        The whole candidate grid is materialised with ``np.repeat``/``np.tile``
+        in blocks of query rows (rather than one Python-level ``column_stack``
+        per query), sized so each block stays within ``chunk_size`` triples.
+        """
+        n = self.n_entities
+        b = first.shape[0]
+        candidates = np.arange(n, dtype=np.int64)
+        out = np.empty((b, n), dtype=np.float64)
+        rows_per_block = max(1, int(chunk_size) // n)
+        for start in range(0, b, rows_per_block):
+            stop = min(b, start + rows_per_block)
+            rows = stop - start
+            expanded_first = np.repeat(first[start:stop], n)
+            expanded_second = np.repeat(second[start:stop], n)
+            tiled = np.tile(candidates, rows)
+            if position == "tail":
+                triples = np.column_stack([expanded_first, expanded_second, tiled])
+            else:
+                triples = np.column_stack([tiled, expanded_first, expanded_second])
+            out[start:stop] = self.score_triples(
+                triples, chunk_size=chunk_size).reshape(rows, n)
         return out
+
+    @staticmethod
+    def l2_distance_matrix(queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Pairwise L2 distances ``(B, N)`` through one GEMM.
+
+        ``||q − t||² = ||q||² − 2 q·t + ||t||²`` avoids materialising the
+        ``(B, N, d)`` diff tensor; shared by the closed-form ranking path
+        (``SpTransE``) and the serving engine's embedding-space kNN.
+        """
+        sq = (queries ** 2).sum(axis=1)[:, None] + (targets ** 2).sum(axis=1)[None, :]
+        sq -= 2.0 * (queries @ targets.T)
+        # Cancellation can leave tiny negatives where q ≈ t.
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq + 1e-12)
+
+    @staticmethod
+    def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` smallest scores, ordered ascending.
+
+        ``argpartition`` selects the top-k in O(N), then only those k entries
+        are sorted — the serving-time win over a full O(N log N) ``argsort``.
+        """
+        n = scores.shape[0]
+        k = max(0, min(int(k), n))
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if k >= n:
+            return np.argsort(scores, kind="stable").astype(np.int64)
+        selected = np.argpartition(scores, k - 1)[:k]
+        # Lexsort orders the selected subset stably by (score, index).  Which
+        # of several candidates tied exactly at the k-th score make the cut is
+        # up to argpartition, matching np.argsort's own unspecified tie order.
+        order = np.lexsort((selected, scores[selected]))
+        return selected[order].astype(np.int64)
 
     def predict_tails(self, head: int, relation: int, k: int = 10) -> np.ndarray:
         """Return the ``k`` most plausible tail entities for ``(head, relation, ?)``."""
         scores = self.score_all_tails(np.array([head]), np.array([relation]))[0]
-        return np.argsort(scores)[:k]
+        return self._top_k(scores, k)
 
     def predict_heads(self, relation: int, tail: int, k: int = 10) -> np.ndarray:
         """Return the ``k`` most plausible head entities for ``(?, relation, tail)``."""
         scores = self.score_all_heads(np.array([relation]), np.array([tail]))[0]
-        return np.argsort(scores)[:k]
+        return self._top_k(scores, k)
 
     def classify_triples(self, triples: np.ndarray, threshold: float) -> np.ndarray:
         """Binary triple classification: True when dissimilarity <= threshold."""

@@ -29,11 +29,15 @@ from repro.autograd.tensor import Tensor
 from repro.models.transe import SpTransE
 from repro.nn import init
 from repro.nn.parameter import Parameter
+from repro.registry import register_model
 from repro.sparse.backends import DEFAULT_BACKEND
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transm", "sparse", accepts_backend=True, accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="hrt-spmm+relation-weight",
+                default_dissimilarity="L2")
 class SpTransM(SpTransE):
     """TransM through the ``hrt`` SpMM: ``w_r · ||h + r − t||``.
 
@@ -70,6 +74,9 @@ class SpTransM(SpTransE):
         return cfg
 
 
+@register_model("transc", "sparse", accepts_backend=True, supports_sparse_grads=True,
+                formulation_tag="hrt-spmm+squared-distance",
+                default_dissimilarity="squared_L2")
 class SpTransC(SpTransE):
     """TransC's score form through the ``hrt`` SpMM: ``||h + r − t||²₂``.
 
@@ -91,6 +98,8 @@ class SpTransC(SpTransE):
         return cfg
 
 
+@register_model("transa", "sparse", accepts_backend=True, supports_sparse_grads=True,
+                formulation_tag="hrt-spmm+adaptive-metric", default_dissimilarity="L2")
 class SpTransA(SpTransE):
     """TransA through the ``hrt`` SpMM: ``|h + r − t|ᵀ W_r |h + r − t|``.
 

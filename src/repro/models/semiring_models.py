@@ -27,11 +27,13 @@ from repro.models.base import KGEModel
 from repro.nn.embedding import StackedEmbedding
 from repro.nn.parameter import Parameter
 from repro.nn import init
+from repro.registry import register_model
 from repro.sparse.semiring import complex_semiring_spmm, semiring_spmm
 from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("distmult", "sparse", formulation_tag="semiring-times-times")
 class SpDistMult(KGEModel):
     """DistMult through the ``times_times`` semiring SpMM.
 
@@ -71,6 +73,7 @@ class SpDistMult(KGEModel):
         return cfg
 
 
+@register_model("complex", "sparse", formulation_tag="semiring-complex-times-times")
 class SpComplEx(KGEModel):
     """ComplEx through the complex ``times_times`` semiring SpMM.
 
@@ -112,6 +115,7 @@ class SpComplEx(KGEModel):
         return cfg
 
 
+@register_model("rotate", "sparse", formulation_tag="semiring-rotate")
 class SpRotatE(KGEModel):
     """RotatE through the ``rotate`` semiring over paired stacked matrices.
 

@@ -14,9 +14,13 @@ from typing import Dict
 import numpy as np
 
 from repro.models.transe import SpTransE
+from repro.registry import register_model
 from repro.sparse.backends import DEFAULT_BACKEND
 
 
+@register_model("toruse", "sparse", accepts_backend=True, accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="hrt-spmm-torus",
+                default_dissimilarity="torus_L2")
 class SpTorusE(SpTransE):
     """TorusE trained through SpMM over the ``hrt`` incidence matrix.
 

@@ -16,12 +16,16 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 from repro.models.base import TranslationalModel
 from repro.nn.embedding import StackedEmbedding
+from repro.registry import register_model
 from repro.sparse.backends import DEFAULT_BACKEND
 from repro.sparse.incidence import IncidenceBuilder
 from repro.sparse.spmm import spmm
 from repro.utils.validation import check_triples
 
 
+@register_model("transe", "sparse", accepts_backend=True, accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="hrt-spmm",
+                default_dissimilarity="L2")
 class SpTransE(TranslationalModel):
     """TransE trained through SpMM over the ``hrt`` incidence matrix.
 
@@ -50,9 +54,12 @@ class SpTransE(TranslationalModel):
         self.backend = backend
 
     #: Upper bound on the number of ``(B, block, d)`` diff elements a single
-    #: closed-form ranking block may materialise (~128 MB of float64).  Keeps
-    #: peak memory flat in the vocabulary size; see ``score_all_tails``.
-    RANK_BLOCK_ELEMENTS = 1 << 24
+    #: closed-form ranking block may materialise (~16 MB of float64).  Keeps
+    #: peak memory flat in the vocabulary size and each block inside the CPU
+    #: cache hierarchy — large multi-query blocks were allocation-bound (every
+    #: 100+ MB temporary is an mmap + kernel page-zeroing round trip); see
+    #: ``score_all_tails``.
+    RANK_BLOCK_ELEMENTS = 1 << 21
 
     def residuals(self, triples: np.ndarray) -> Tensor:
         """Per-triplet ``h + r − t`` computed with a single SpMM."""
@@ -111,6 +118,8 @@ class SpTransE(TranslationalModel):
         query`` instead of ``query − entity``) so asymmetric dissimilarities
         in subclasses keep their original orientation.
         """
+        if self._l2_gemm_applies():
+            return self._rank_l2_gemm(queries, ent)
         b, d = queries.shape
         n = ent.shape[0]
         block = max(1, min(int(chunk_size),
@@ -123,6 +132,26 @@ class SpTransE(TranslationalModel):
                 np.negative(diff, out=diff)
             out[:, start:stop] = self._reduce(diff)
         return out
+
+    def _l2_gemm_applies(self) -> bool:
+        """Whether the GEMM expansion can replace the blocked diff reduction.
+
+        Only valid when the reduction really is the plain L2 norm: subclasses
+        (torus, squared, adaptive metrics) and instances that override
+        :meth:`_reduce` keep the blocked path.
+        """
+        reduce_impl = getattr(self._reduce, "__func__", self._reduce)
+        return reduce_impl is SpTransE._reduce and self.dissimilarity_name == "L2"
+
+    def _rank_l2_gemm(self, queries: np.ndarray, ent: np.ndarray) -> np.ndarray:
+        """Batched L2 ranking through one GEMM, no ``(B, N, d)`` temporary.
+
+        The single-matmul expansion is the serving-path win that makes
+        coalesced multi-query ranking cheaper than one query at a time.  The
+        norm is symmetric, so the ``reverse`` orientation needs no special
+        case.
+        """
+        return self.l2_distance_matrix(queries, ent)
 
     def _reduce(self, diff: np.ndarray) -> np.ndarray:
         if self.dissimilarity_name == "L1":

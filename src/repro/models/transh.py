@@ -23,6 +23,7 @@ from repro.models.base import TranslationalModel
 from repro.nn.embedding import Embedding
 from repro.nn.parameter import Parameter
 from repro.nn import init
+from repro.registry import register_model
 from repro.sparse.backends import DEFAULT_BACKEND
 from repro.sparse.incidence import IncidenceBuilder
 from repro.sparse.spmm import spmm
@@ -30,6 +31,9 @@ from repro.utils.seeding import new_rng
 from repro.utils.validation import check_triples
 
 
+@register_model("transh", "sparse", accepts_backend=True, accepts_dissimilarity=True,
+                supports_sparse_grads=True, formulation_tag="ht-spmm+hyperplane",
+                default_dissimilarity="L2")
 class SpTransH(TranslationalModel):
     """TransH trained through SpMM over the ``ht`` incidence matrix.
 

@@ -1,0 +1,37 @@
+"""Inference serving: checkpoint → HTTP top-k endpoint.
+
+The serving stack is layered so each piece is usable on its own:
+
+* :class:`~repro.serving.engine.InferenceEngine` — loads a checkpoint through
+  the spec-driven registry and answers top-k / scoring / classification
+  queries with ``argpartition`` selection, filtered-candidate masks, and an
+  LRU result cache.
+* :class:`~repro.serving.request_batcher.RequestBatcher` — coalesces
+  concurrent single queries into batched engine calls.
+* :class:`~repro.serving.server.InferenceServer` — a stdlib-only threaded
+  JSON/HTTP front-end (``sptransx serve`` wraps it).
+
+.. code-block:: python
+
+    from repro.serving import InferenceEngine
+
+    engine = InferenceEngine.from_checkpoint("model.npz")
+    result = engine.top_k_tails(head=12, relation=3, k=10)
+    print(result.entities, result.scores)
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.engine import InferenceEngine, TopKQuery, TopKResult
+from repro.serving.request_batcher import RequestBatcher
+from repro.serving.server import InferenceServer, ServingError, make_server
+
+__all__ = [
+    "LRUCache",
+    "InferenceEngine",
+    "TopKQuery",
+    "TopKResult",
+    "RequestBatcher",
+    "InferenceServer",
+    "ServingError",
+    "make_server",
+]

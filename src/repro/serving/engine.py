@@ -1,0 +1,304 @@
+"""The inference engine: checkpoint → answered top-k / scoring queries.
+
+The engine is the programmatic serving surface the HTTP server and the
+``sptransx serve`` CLI sit on:
+
+* loads a model through the spec-driven registry
+  (:func:`repro.training.checkpoint.load_model`), so the served model is
+  backend- and hyperparameter-faithful to what was trained;
+* answers ``top_k_tails`` / ``top_k_heads`` with O(N) ``argpartition``
+  selection instead of a full sort;
+* supports the **filtered** protocol at serving time: known positives are
+  masked out of the candidate set, so the answer is "new predictions only";
+* coalesces batches of single queries into one vectorised
+  ``score_all_tails``/``score_all_heads`` call (the batcher's fast path),
+  deduplicating repeated ``(h, r)`` pairs within a batch;
+* keeps an LRU cache keyed ``(direction, h, r, k, filtered)`` that is
+  invalidated atomically on :meth:`reload`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.models.base import KGEModel
+from repro.registry import ModelSpec, spec_from_model
+from repro.serving.cache import LRUCache
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """One ranking request: anchor entity + relation, ``k``, filter flag.
+
+    ``anchor`` is the head for tail queries and the tail for head queries.
+    """
+
+    anchor: int
+    relation: int
+    k: int = 10
+    filtered: bool = False
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Ranked answer: candidate entity ids with their dissimilarities."""
+
+    entities: Tuple[int, ...]
+    scores: Tuple[float, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"entities": list(self.entities), "scores": list(self.scores)}
+
+
+def _result_from_row(scores_row: np.ndarray, k: int,
+                     exclude: Optional[np.ndarray]) -> TopKResult:
+    """Top-k of one score row; excluded candidates never appear in the answer."""
+    if exclude is not None and exclude.size:
+        scores_row = scores_row.copy()
+        scores_row[exclude] = np.inf
+        # Masked candidates sort last; trim them off rather than returning
+        # +inf rows, so a filtered answer contains only real predictions.
+        idx = KGEModel._top_k(scores_row, k)
+        idx = idx[np.isfinite(scores_row[idx])]
+    else:
+        idx = KGEModel._top_k(scores_row, k)
+    return TopKResult(entities=tuple(int(i) for i in idx),
+                      scores=tuple(float(scores_row[i]) for i in idx))
+
+
+class InferenceEngine:
+    """Serve link-prediction queries from a trained KGE model.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.base.KGEModel` (typically from
+        :meth:`from_checkpoint`).
+    known_triples:
+        Optional iterable of ``(h, r, t)`` positives backing the filtered
+        protocol; without it, ``filtered=True`` queries behave like raw ones.
+    cache_size:
+        LRU entries kept (``0`` disables result caching).
+    """
+
+    def __init__(self, model: KGEModel,
+                 known_triples: Optional[Iterable[Tuple[int, int, int]]] = None,
+                 cache_size: int = 4096) -> None:
+        self.model = model
+        self.cache = LRUCache(cache_size)
+        # numpy scoring is read-only on the weights, but the autograd
+        # ``no_grad`` switch used by the generic scoring fallbacks is process
+        # global — serialise scoring so concurrent HTTP threads cannot race
+        # it.  Cache writes happen under the same lock: reload() and
+        # set_known_triples() also take it before clearing, so a thread that
+        # scored against the old model can never repopulate the cache after
+        # an invalidation.
+        self._score_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.queries_served = 0
+        self.scoring_calls = 0
+        self.rows_scored = 0
+        self.reloads = 0
+        self._known_tails: Dict[Tuple[int, int], np.ndarray] = {}
+        self._known_heads: Dict[Tuple[int, int], np.ndarray] = {}
+        self._entity_snapshot: Optional[np.ndarray] = None
+        if known_triples is not None:
+            self.set_known_triples(known_triples)
+
+    # ------------------------------------------------------------------ #
+    # Construction / lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_checkpoint(cls, path: str,
+                        known_triples: Optional[Iterable[Tuple[int, int, int]]] = None,
+                        cache_size: int = 4096) -> "InferenceEngine":
+        """Build an engine from a checkpoint via its stored :class:`ModelSpec`."""
+        from repro.training.checkpoint import load_model
+
+        return cls(load_model(path), known_triples=known_triples,
+                   cache_size=cache_size)
+
+    def set_known_triples(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        """Install the positive set backing filtered queries (replaces any prior)."""
+        tails: Dict[Tuple[int, int], List[int]] = {}
+        heads: Dict[Tuple[int, int], List[int]] = {}
+        for h, r, t in triples:
+            tails.setdefault((int(h), int(r)), []).append(int(t))
+            heads.setdefault((int(r), int(t)), []).append(int(h))
+        with self._score_lock:
+            self._known_tails = {k: np.asarray(v, dtype=np.int64)
+                                 for k, v in tails.items()}
+            self._known_heads = {k: np.asarray(v, dtype=np.int64)
+                                 for k, v in heads.items()}
+            self.cache.clear()
+
+    def reload(self, path: str) -> None:
+        """Swap in a new checkpoint atomically and invalidate the result cache."""
+        from repro.training.checkpoint import load_model
+
+        model = load_model(path)
+        with self._score_lock:
+            self.model = model
+            self.cache.clear()
+            self._entity_snapshot = None
+            with self._stats_lock:
+                self.reloads += 1
+
+    def spec(self) -> ModelSpec:
+        """Spec of the currently served model."""
+        return spec_from_model(self.model)
+
+    def entity_snapshot(self) -> np.ndarray:
+        """Dense entity-embedding snapshot, computed once per loaded model.
+
+        Extracting the matrix can itself be expensive (ComplEx concatenates
+        real/imaginary halves), so :meth:`nearest_entities` reads this cached
+        copy; :meth:`reload` drops it with the result cache.
+        """
+        with self._score_lock:
+            return self._entity_snapshot_locked()
+
+    def _entity_snapshot_locked(self) -> np.ndarray:
+        if self._entity_snapshot is None:
+            self._entity_snapshot = self.model.entity_embedding_matrix()
+        return self._entity_snapshot
+
+    def nearest_entities(self, entity: int, k: int = 10) -> TopKResult:
+        """The ``k`` entities closest to ``entity`` in embedding space.
+
+        Embedding-space similarity ("entities like this one") rather than a
+        scoring-function ranking — the query itself is excluded from the
+        answer.  Distances come from the cached snapshot through one
+        GEMM-expanded L2 pass, and results share the engine's LRU cache.
+        """
+        entity = int(entity)
+        if not 0 <= entity < self.model.n_entities:
+            raise IndexError(
+                f"entity id {entity} out of range [0, {self.model.n_entities})"
+            )
+        key = ("nearest", entity, int(k))
+        found, value = self.cache.get(key)
+        if not found:
+            with self._score_lock:
+                ent = self._entity_snapshot_locked()
+                distances = KGEModel.l2_distance_matrix(ent[entity][None, :], ent)[0]
+                distances[entity] = np.inf
+                idx = KGEModel._top_k(distances, k)
+                idx = idx[np.isfinite(distances[idx])]
+                value = TopKResult(
+                    entities=tuple(int(i) for i in idx),
+                    scores=tuple(float(distances[i]) for i in idx))
+                self.cache.put(key, value)
+        with self._stats_lock:
+            self.queries_served += 1
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Query API
+    # ------------------------------------------------------------------ #
+    def top_k_tails(self, head: int, relation: int, k: int = 10,
+                    filtered: bool = False) -> TopKResult:
+        """The ``k`` most plausible tails for ``(head, relation, ?)``."""
+        return self.top_k_tails_batch([TopKQuery(head, relation, k, filtered)])[0]
+
+    def top_k_heads(self, relation: int, tail: int, k: int = 10,
+                    filtered: bool = False) -> TopKResult:
+        """The ``k`` most plausible heads for ``(?, relation, tail)``."""
+        return self.top_k_heads_batch([TopKQuery(tail, relation, k, filtered)])[0]
+
+    def top_k_tails_batch(self, queries: Sequence[TopKQuery]) -> List[TopKResult]:
+        """Answer many tail queries with (at most) one ``score_all_tails`` call."""
+        return self._top_k_batch(queries, direction="tail")
+
+    def top_k_heads_batch(self, queries: Sequence[TopKQuery]) -> List[TopKResult]:
+        """Answer many head queries with (at most) one ``score_all_heads`` call."""
+        return self._top_k_batch(queries, direction="head")
+
+    def _top_k_batch(self, queries: Sequence[TopKQuery],
+                     direction: str) -> List[TopKResult]:
+        results: List[Optional[TopKResult]] = [None] * len(queries)
+        miss_positions: List[int] = []
+        for i, q in enumerate(queries):
+            found, value = self.cache.get(self._cache_key(direction, q))
+            if found:
+                results[i] = value
+            else:
+                miss_positions.append(i)
+
+        if miss_positions:
+            # Deduplicate repeated (anchor, relation) pairs so the scoring
+            # kernel sees each query row once, however skewed the traffic.
+            pair_rows: Dict[Tuple[int, int], int] = {}
+            for i in miss_positions:
+                q = queries[i]
+                pair_rows.setdefault((q.anchor, q.relation), len(pair_rows))
+            anchors = np.fromiter((p[0] for p in pair_rows), dtype=np.int64,
+                                  count=len(pair_rows))
+            relations = np.fromiter((p[1] for p in pair_rows), dtype=np.int64,
+                                    count=len(pair_rows))
+            # Result construction and cache.put stay inside the lock so an
+            # interleaved reload()/set_known_triples() cannot be followed by
+            # stale entries written from the pre-invalidation model.
+            with self._score_lock:
+                if direction == "tail":
+                    scores = self.model.score_all_tails(anchors, relations)
+                else:
+                    scores = self.model.score_all_heads(relations, anchors)
+                with self._stats_lock:
+                    self.scoring_calls += 1
+                    self.rows_scored += int(anchors.shape[0])
+                for i in miss_positions:
+                    q = queries[i]
+                    row = scores[pair_rows[(q.anchor, q.relation)]]
+                    exclude = self._exclusions(direction, q) if q.filtered else None
+                    result = _result_from_row(row, q.k, exclude)
+                    self.cache.put(self._cache_key(direction, q), result)
+                    results[i] = result
+
+        with self._stats_lock:
+            self.queries_served += len(queries)
+        return results  # type: ignore[return-value]
+
+    def score(self, head: int, relation: int, tail: int) -> float:
+        """Dissimilarity of one triple (smaller = more plausible)."""
+        return float(self.score_triples([(head, relation, tail)])[0])
+
+    def score_triples(self, triples: Sequence[Tuple[int, int, int]]) -> np.ndarray:
+        """Dissimilarities for a batch of triples."""
+        arr = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        with self._score_lock:
+            out = self.model.score_triples(arr)
+        with self._stats_lock:
+            self.queries_served += arr.shape[0]
+        return out
+
+    def classify(self, triples: Sequence[Tuple[int, int, int]],
+                 threshold: float) -> List[bool]:
+        """Binary triple classification: plausible iff dissimilarity ≤ threshold."""
+        return [bool(v) for v in self.score_triples(triples) <= float(threshold)]
+
+    # ------------------------------------------------------------------ #
+    # Internals / introspection
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, direction: str, q: TopKQuery) -> Tuple:
+        return (direction, q.anchor, q.relation, q.k, q.filtered)
+
+    def _exclusions(self, direction: str, q: TopKQuery) -> Optional[np.ndarray]:
+        if direction == "tail":
+            return self._known_tails.get((q.anchor, q.relation))
+        return self._known_heads.get((q.relation, q.anchor))
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the ``/v1/stats`` endpoint and the benchmarks."""
+        with self._stats_lock:
+            return {
+                "queries_served": self.queries_served,
+                "scoring_calls": self.scoring_calls,
+                "rows_scored": self.rows_scored,
+                "reloads": self.reloads,
+                "cache": self.cache.stats(),
+            }

@@ -1,0 +1,181 @@
+"""Micro-batching of concurrent single queries into coalesced engine calls.
+
+A serving process receives top-k requests one at a time (one per HTTP
+request), but the engine answers a *batch* of queries for nearly the price of
+one: ``score_all_tails`` over B query rows is a single vectorised pass, while
+B separate calls pay the Python/kernel dispatch overhead B times.  The
+batcher closes that gap: requests arriving within a short window are
+collected and executed as one ``top_k_tails_batch``/``top_k_heads_batch``
+call, Helmsman-style.
+
+Mechanics: callers block in :meth:`RequestBatcher.top_k_tails` /
+``top_k_heads`` while a single worker thread drains the shared queue.  The
+worker takes the first pending request, then keeps gathering until either
+``max_batch`` requests are in hand or ``max_wait_ms`` has elapsed since the
+batch opened, groups them by direction, and dispatches one engine call per
+direction.  Per-request exceptions are propagated back to their caller
+without poisoning the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serving.engine import InferenceEngine, TopKQuery, TopKResult
+
+
+@dataclass
+class _PendingRequest:
+    """One caller-visible request waiting for its batch to execute."""
+
+    direction: str
+    query: TopKQuery
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[TopKResult] = None
+    error: Optional[BaseException] = None
+
+
+class RequestBatcher:
+    """Coalesce concurrent top-k requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serving.engine.InferenceEngine` executing batches.
+    max_batch:
+        Largest number of requests dispatched as one engine call.
+    max_wait_ms:
+        How long the worker holds an open batch waiting for more requests.
+        This bounds added latency: a lone request is delayed at most this long.
+    """
+
+    def __init__(self, engine: InferenceEngine, max_batch: int = 64,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._queue: "queue.Queue[Optional[_PendingRequest]]" = queue.Queue()
+        # Guards the closed-flag/enqueue pair: no request can slip into the
+        # queue behind the shutdown sentinel and block its caller forever.
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.largest_batch = 0
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, name="request-batcher",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Caller API (blocking)
+    # ------------------------------------------------------------------ #
+    def top_k_tails(self, head: int, relation: int, k: int = 10,
+                    filtered: bool = False) -> TopKResult:
+        """Blocking tail query; executed inside the next coalesced batch."""
+        return self._submit("tail", TopKQuery(int(head), int(relation),
+                                              int(k), bool(filtered)))
+
+    def top_k_heads(self, relation: int, tail: int, k: int = 10,
+                    filtered: bool = False) -> TopKResult:
+        """Blocking head query; executed inside the next coalesced batch."""
+        return self._submit("head", TopKQuery(int(tail), int(relation),
+                                              int(k), bool(filtered)))
+
+    def close(self) -> None:
+        """Stop the worker after the queue drains; further submits fail."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
+        self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "RequestBatcher":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, float]:
+        """Coalescing counters (average batch size is the headline number)."""
+        with self._stats_lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "largest_batch": self.largest_batch,
+                "mean_batch_size": self.requests / self.batches if self.batches else 0.0,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Worker internals
+    # ------------------------------------------------------------------ #
+    def _submit(self, direction: str, query: TopKQuery) -> TopKResult:
+        pending = _PendingRequest(direction=direction, query=query)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            # FIFO ordering now guarantees the worker reaches this request
+            # before any shutdown sentinel enqueued by a later close().
+            self._queue.put(pending)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def _collect_batch(self, first: _PendingRequest) -> List[_PendingRequest]:
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                # Shutdown sentinel: re-enqueue so the outer loop sees it
+                # after this final batch completes.
+                self._queue.put(None)
+                break
+            batch.append(item)
+        return batch
+
+    def _execute(self, batch: List[_PendingRequest]) -> None:
+        by_direction: Dict[str, List[_PendingRequest]] = {}
+        for item in batch:
+            by_direction.setdefault(item.direction, []).append(item)
+        for direction, items in by_direction.items():
+            queries = [item.query for item in items]
+            try:
+                if direction == "tail":
+                    results = self.engine.top_k_tails_batch(queries)
+                else:
+                    results = self.engine.top_k_heads_batch(queries)
+                for item, result in zip(items, results):
+                    item.result = result
+            except BaseException as exc:  # noqa: BLE001 — handed to the caller
+                for item in items:
+                    item.error = exc
+            finally:
+                for item in items:
+                    item.done.set()
+        with self._stats_lock:
+            self.requests += len(batch)
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            self._execute(self._collect_batch(item))

@@ -1,0 +1,246 @@
+"""Stdlib JSON/HTTP front-end for the inference engine.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough for a
+dependency-free serving endpoint, and the threading server is what makes
+micro-batching effective: concurrent requests block in their own handler
+threads, their queries meet inside the :class:`RequestBatcher`, and one
+vectorised engine call answers them all.
+
+Endpoints (all JSON):
+
+====================  ======  =====================================================
+``/v1/health``        GET     liveness + served model class
+``/v1/spec``          GET     the served model's :class:`ModelSpec`
+``/v1/stats``         GET     engine, cache, and batcher counters
+``/v1/top_k_tails``   POST    ``{"head": 3, "relation": 1, "k": 10, "filtered": true}``
+``/v1/top_k_heads``   POST    ``{"tail": 3, "relation": 1, "k": 10, "filtered": true}``
+``/v1/nearest``       POST    ``{"entity": 3, "k": 10}`` (embedding-space kNN)
+``/v1/score``         POST    ``{"triples": [[h, r, t], ...]}``
+``/v1/classify``      POST    ``{"triples": [...], "threshold": 7.5}``
+====================  ======  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.request_batcher import RequestBatcher
+
+
+class ServingError(ValueError):
+    """Client error (malformed request / unknown ids) mapped to HTTP 400."""
+
+
+def _require_int(payload: Dict, key: str) -> int:
+    if key not in payload:
+        raise ServingError(f"missing required field {key!r}")
+    value = payload[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServingError(f"field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _get_triples(payload: Dict) -> list:
+    triples = payload.get("triples")
+    if (not isinstance(triples, list) or not triples
+            or not all(isinstance(t, list) and len(t) == 3 for t in triples)):
+        raise ServingError('field "triples" must be a non-empty list of [h, r, t]')
+    return triples
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the engine / batcher owned by the server."""
+
+    server: "InferenceServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServingError("request body is empty")
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        engine = self.server.engine
+        if self.path == "/v1/health":
+            self._send_json({"status": "ok",
+                             "model": type(engine.model).__name__,
+                             "n_entities": engine.model.n_entities,
+                             "n_relations": engine.model.n_relations})
+        elif self.path == "/v1/spec":
+            self._send_json(engine.spec().to_dict())
+        elif self.path == "/v1/stats":
+            stats: Dict[str, object] = dict(engine.stats())
+            if self.server.batcher is not None:
+                stats["batcher"] = self.server.batcher.stats()
+            self._send_json(stats)
+        else:
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+
+    #: POST routes _dispatch understands; anything else is a 404, matching GET.
+    POST_ROUTES = frozenset({"/v1/top_k_tails", "/v1/top_k_heads", "/v1/nearest",
+                             "/v1/score", "/v1/classify"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path not in self.POST_ROUTES:
+            # Drain the body so a keep-alive connection stays parseable.
+            length = int(self.headers.get("Content-Length", 0))
+            if length > 0:
+                self.rfile.read(length)
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            return
+        try:
+            payload = self._read_json()
+            self._send_json(self._dispatch(self.path, payload))
+        except ServingError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except IndexError as exc:
+            self._send_json({"error": str(exc) or "entity or relation id out of range"},
+                            status=400)
+        except (ValueError, TypeError) as exc:
+            # Everything reaching the scoring kernels is request-derived, so
+            # validation failures there (check_triples, bad casts) are client
+            # errors, same as the explicit checks above.
+            self._send_json({"error": str(exc)}, status=400)
+        except Exception as exc:  # noqa: BLE001 — last-resort 500 with context
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+
+    def _dispatch(self, path: str, payload: Dict) -> Dict:
+        engine = self.server.engine
+        batcher = self.server.batcher
+        if path == "/v1/top_k_tails":
+            head = _require_int(payload, "head")
+            relation = _require_int(payload, "relation")
+            k = int(payload.get("k", 10))
+            filtered = bool(payload.get("filtered", False))
+            self.server.check_ids(head=head, relation=relation)
+            if batcher is not None:
+                result = batcher.top_k_tails(head, relation, k=k, filtered=filtered)
+            else:
+                result = engine.top_k_tails(head, relation, k=k, filtered=filtered)
+            return result.to_dict()
+        if path == "/v1/top_k_heads":
+            tail = _require_int(payload, "tail")
+            relation = _require_int(payload, "relation")
+            k = int(payload.get("k", 10))
+            filtered = bool(payload.get("filtered", False))
+            self.server.check_ids(tail=tail, relation=relation)
+            if batcher is not None:
+                result = batcher.top_k_heads(relation, tail, k=k, filtered=filtered)
+            else:
+                result = engine.top_k_heads(relation, tail, k=k, filtered=filtered)
+            return result.to_dict()
+        if path == "/v1/nearest":
+            entity = _require_int(payload, "entity")
+            k = int(payload.get("k", 10))
+            return engine.nearest_entities(entity, k=k).to_dict()
+        if path == "/v1/score":
+            triples = _get_triples(payload)
+            return {"scores": [float(s) for s in engine.score_triples(triples)]}
+        if path == "/v1/classify":
+            triples = _get_triples(payload)
+            if "threshold" not in payload:
+                raise ServingError('missing required field "threshold"')
+            threshold = float(payload["threshold"])
+            return {"labels": engine.classify(triples, threshold),
+                    "threshold": threshold}
+        raise ServingError(f"unknown path {path!r}")
+
+
+class InferenceServer(ThreadingHTTPServer):
+    """HTTP server owning one engine and (optionally) one request batcher.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see :attr:`port`).
+    coalesce:
+        Route top-k requests through a :class:`RequestBatcher` so concurrent
+        queries share scoring calls.  Disable to measure the unbatched path.
+    max_batch, max_wait_ms:
+        Batcher tuning knobs (ignored when ``coalesce`` is false).
+    verbose:
+        Log one line per request (off by default; serving is chatty).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 0, coalesce: bool = True, max_batch: int = 64,
+                 max_wait_ms: float = 2.0, verbose: bool = False) -> None:
+        super().__init__((host, port), ServingHandler)
+        self.engine = engine
+        self.verbose = bool(verbose)
+        self.batcher: Optional[RequestBatcher] = (
+            RequestBatcher(engine, max_batch=max_batch, max_wait_ms=max_wait_ms)
+            if coalesce else None
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def check_ids(self, head: Optional[int] = None, tail: Optional[int] = None,
+                  relation: Optional[int] = None) -> None:
+        """Reject out-of-vocabulary ids before they reach the scoring kernels."""
+        model = self.engine.model
+        for name, value, bound in (("head", head, model.n_entities),
+                                   ("tail", tail, model.n_entities),
+                                   ("relation", relation, model.n_relations)):
+            if value is not None and not 0 <= value < bound:
+                raise ServingError(
+                    f"{name} id {value} out of range [0, {bound})"
+                )
+
+    def close(self) -> None:
+        """Stop the batcher and release the socket (idempotent)."""
+        if self.batcher is not None:
+            self.batcher.close()
+        self.server_close()
+
+
+def make_server(engine: InferenceEngine, host: str = "127.0.0.1", port: int = 0,
+                coalesce: bool = True, max_batch: int = 64,
+                max_wait_ms: float = 2.0, verbose: bool = False) -> InferenceServer:
+    """Construct (but do not start) an :class:`InferenceServer`.
+
+    Call ``serve_forever()`` on the result — from the current thread for a
+    real deployment (the CLI does this), or a background thread in tests.
+    """
+    return InferenceServer(engine, host=host, port=port, coalesce=coalesce,
+                           max_batch=max_batch, max_wait_ms=max_wait_ms,
+                           verbose=verbose)

@@ -21,6 +21,8 @@ from repro.training.checkpoint import (
     Checkpoint,
     save_checkpoint,
     load_checkpoint,
+    load_model,
+    model_from_checkpoint,
     restore_into,
 )
 
@@ -28,6 +30,8 @@ __all__ = [
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "load_model",
+    "model_from_checkpoint",
     "restore_into",
     "TrainingConfig",
     "Trainer",

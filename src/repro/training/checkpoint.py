@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.models.base import KGEModel
 from repro.optim.optimizer import Optimizer
+from repro.registry import ModelSpec, UnknownModelError, build_model, spec_from_model
 
 
 @dataclass
@@ -29,6 +30,51 @@ class Checkpoint:
     epoch: int = 0
     losses: List[float] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+
+    def spec(self) -> ModelSpec:
+        """The :class:`~repro.registry.ModelSpec` this checkpoint was written with.
+
+        Checkpoints written before the spec-driven registry carry only the
+        ``model_config`` summary; for those the spec is derived from the
+        registered class name so old checkpoints stay loadable.  Raises
+        ``ValueError`` when neither form identifies a registered model.
+        """
+        payload = self.metadata.get("model_spec")
+        if payload is not None:
+            return ModelSpec.from_dict(payload)  # type: ignore[arg-type]
+        return self._spec_from_legacy_config()
+
+    def _spec_from_legacy_config(self) -> ModelSpec:
+        from repro.registry import iter_entries
+
+        saved = self.metadata.get("model_config")
+        if not isinstance(saved, dict) or "model" not in saved:
+            raise ValueError(
+                "checkpoint carries no model spec and no legacy model_config; "
+                "cannot reconstruct the model"
+            )
+        class_name = str(saved["model"])
+        entry = next((e for e in iter_entries() if e.cls.__name__ == class_name), None)
+        if entry is None:
+            raise ValueError(
+                f"checkpoint was written by unregistered model class {class_name!r}; "
+                "register it with @register_model to make it loadable"
+            )
+        relation_dim = saved.get("relation_dim")
+        return ModelSpec(
+            model=entry.name,
+            formulation=entry.formulation,
+            n_entities=int(saved["n_entities"]),
+            n_relations=int(saved["n_relations"]),
+            embedding_dim=int(saved["embedding_dim"]),
+            relation_dim=int(relation_dim) if relation_dim is not None else None,
+            backend=(str(saved["backend"])
+                     if entry.capabilities.accepts_backend and "backend" in saved
+                     else None),
+            dissimilarity=(str(saved["dissimilarity"])
+                           if entry.capabilities.accepts_dissimilarity
+                           and "dissimilarity" in saved else None),
+        )
 
 
 def _flatten_optimizer_state(optimizer: Optimizer, model: KGEModel) -> Dict[str, np.ndarray]:
@@ -68,7 +114,14 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
     if optimizer is not None:
         for name, value in _flatten_optimizer_state(optimizer, model).items():
             arrays[f"optim::{name}"] = value
+    try:
+        spec_payload: Optional[Dict[str, object]] = spec_from_model(model).to_dict()
+    except UnknownModelError:
+        # Unregistered (e.g. ad-hoc experimental) models still checkpoint;
+        # they just cannot be auto-reconstructed by ``model_from_checkpoint``.
+        spec_payload = None
     metadata = {
+        "model_spec": spec_payload,
         "model_config": model.config(),
         "epoch": int(epoch),
         "losses": list(losses) if losses is not None else [],
@@ -103,6 +156,25 @@ def load_checkpoint(path: str) -> Checkpoint:
         losses=[float(x) for x in metadata.get("losses", [])],
         metadata=metadata,
     )
+
+
+def model_from_checkpoint(checkpoint: Checkpoint, rng=0) -> KGEModel:
+    """Rebuild the exact model a checkpoint was written with and load its weights.
+
+    Construction goes solely through :meth:`Checkpoint.spec` →
+    :func:`repro.registry.build_model`, so every recorded hyperparameter —
+    SpMM backend, dissimilarity, relation dimension — is restored faithfully
+    rather than falling back to constructor defaults.
+    """
+    spec = checkpoint.spec()
+    model = build_model(spec, rng=rng)
+    restore_into(checkpoint, model)
+    return model
+
+
+def load_model(path: str, rng=0) -> KGEModel:
+    """One-call ``path → ready model`` (what the serving engine and CLI use)."""
+    return model_from_checkpoint(load_checkpoint(path), rng=rng)
 
 
 def restore_into(checkpoint: Checkpoint, model: KGEModel,

@@ -1,0 +1,90 @@
+"""Tests for the request batcher: coalescing, correctness, error isolation."""
+
+import threading
+
+import pytest
+
+from repro.registry import ModelSpec, build_model
+from repro.serving import InferenceEngine, RequestBatcher
+
+
+def make_engine(n_entities=40, cache_size=0):
+    model = build_model(ModelSpec(model="transe", formulation="sparse",
+                                  n_entities=n_entities, n_relations=6,
+                                  embedding_dim=8), rng=0)
+    return InferenceEngine(model, cache_size=cache_size)
+
+
+class TestBatcher:
+    def test_single_request_round_trip(self):
+        engine = make_engine()
+        with RequestBatcher(engine, max_batch=8, max_wait_ms=1.0) as batcher:
+            result = batcher.top_k_tails(0, 1, k=5)
+        expected = engine.model.predict_tails(0, 1, k=5)
+        assert list(result.entities) == [int(i) for i in expected]
+
+    def test_concurrent_requests_coalesce(self):
+        engine = make_engine()
+        # A long window guarantees the worker collects everything in flight.
+        with RequestBatcher(engine, max_batch=64, max_wait_ms=200.0) as batcher:
+            results = {}
+            barrier = threading.Barrier(16)
+
+            def worker(i):
+                barrier.wait()
+                results[i] = batcher.top_k_tails(i % 8, i % 3, k=4)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = batcher.stats()
+
+        assert stats["requests"] == 16
+        assert stats["batches"] < 16, "no coalescing happened"
+        assert stats["mean_batch_size"] > 1.0
+        for i, result in results.items():
+            expected = engine.model.predict_tails(i % 8, i % 3, k=4)
+            assert list(result.entities) == [int(x) for x in expected]
+
+    def test_mixed_directions_in_one_batch(self):
+        engine = make_engine()
+        with RequestBatcher(engine, max_batch=8, max_wait_ms=100.0) as batcher:
+            out = {}
+
+            def tails():
+                out["tails"] = batcher.top_k_tails(1, 1, k=3)
+
+            def heads():
+                out["heads"] = batcher.top_k_heads(1, 2, k=3)
+
+            threads = [threading.Thread(target=tails), threading.Thread(target=heads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert list(out["tails"].entities) == [
+            int(i) for i in engine.model.predict_tails(1, 1, k=3)]
+        assert list(out["heads"].entities) == [
+            int(i) for i in engine.model.predict_heads(1, 2, k=3)]
+
+    def test_error_propagates_to_caller(self):
+        engine = make_engine(n_entities=10)
+        with RequestBatcher(engine, max_batch=4, max_wait_ms=1.0) as batcher:
+            with pytest.raises(IndexError):
+                batcher.top_k_tails(10_000, 0, k=3)
+            # The worker survives a failed batch and keeps serving.
+            ok = batcher.top_k_tails(0, 0, k=3)
+            assert len(ok.entities) == 3
+
+    def test_submit_after_close_fails(self):
+        batcher = RequestBatcher(make_engine(), max_batch=4, max_wait_ms=1.0)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.top_k_tails(0, 0, k=1)
+
+    def test_invalid_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(make_engine(), max_batch=0)

@@ -1,0 +1,209 @@
+"""Tests for the inference engine: correctness vs brute force, filters, cache."""
+
+import numpy as np
+import pytest
+
+from repro.registry import ModelSpec, build_model
+from repro.serving import InferenceEngine, TopKQuery
+from repro.training.checkpoint import save_checkpoint
+
+
+def make_model(name="transe", formulation="sparse", n_entities=40, n_relations=6,
+               dim=8, rng=0):
+    return build_model(ModelSpec(model=name, formulation=formulation,
+                                 n_entities=n_entities, n_relations=n_relations,
+                                 embedding_dim=dim), rng=rng)
+
+
+@pytest.fixture
+def engine():
+    return InferenceEngine(make_model(), cache_size=64)
+
+
+class TestTopKCorrectness:
+    @pytest.mark.parametrize("name,formulation", [
+        ("transe", "sparse"), ("transh", "sparse"), ("distmult", "sparse"),
+        ("rotate", "sparse"), ("transe", "dense"), ("transd", "dense"),
+    ])
+    def test_matches_brute_force_argsort(self, name, formulation):
+        model = make_model(name, formulation)
+        engine = InferenceEngine(model, cache_size=0)
+        result = engine.top_k_tails(3, 1, k=7)
+        scores = model.score_all_tails(np.array([3]), np.array([1]))[0]
+        expected = np.argsort(scores, kind="stable")[:7]
+        assert list(result.entities) == [int(i) for i in expected]
+        np.testing.assert_allclose(result.scores, scores[expected])
+
+    def test_matches_predict_tails(self, engine):
+        direct = engine.model.predict_tails(5, 2, k=9)
+        served = engine.top_k_tails(5, 2, k=9)
+        assert list(served.entities) == [int(i) for i in direct]
+
+    def test_heads_direction(self, engine):
+        result = engine.top_k_heads(relation=2, tail=7, k=5)
+        scores = engine.model.score_all_heads(np.array([2]), np.array([7]))[0]
+        expected = np.argsort(scores, kind="stable")[:5]
+        assert list(result.entities) == [int(i) for i in expected]
+
+    def test_k_larger_than_vocabulary(self, engine):
+        result = engine.top_k_tails(0, 0, k=10_000)
+        assert len(result.entities) == engine.model.n_entities
+        assert list(result.scores) == sorted(result.scores)
+
+    def test_scores_are_ascending(self, engine):
+        result = engine.top_k_tails(1, 1, k=10)
+        assert list(result.scores) == sorted(result.scores)
+
+
+class TestFilteredMasks:
+    def test_known_tails_excluded(self):
+        model = make_model()
+        known = [(0, 1, 2), (0, 1, 3), (9, 0, 4)]
+        engine = InferenceEngine(model, known_triples=known)
+        raw = engine.top_k_tails(0, 1, k=model.n_entities)
+        filtered = engine.top_k_tails(0, 1, k=model.n_entities, filtered=True)
+        assert {2, 3} <= set(raw.entities)
+        assert {2, 3}.isdisjoint(set(filtered.entities))
+        # Other queries are unaffected by (0, 1)'s filter list.
+        other = engine.top_k_tails(9, 1, k=model.n_entities, filtered=True)
+        assert len(other.entities) == model.n_entities
+
+    def test_known_heads_excluded(self):
+        engine = InferenceEngine(make_model(), known_triples=[(6, 2, 7)])
+        filtered = engine.top_k_heads(relation=2, tail=7, k=100, filtered=True)
+        assert 6 not in filtered.entities
+
+    def test_filtered_without_known_triples_is_raw(self, engine):
+        raw = engine.top_k_tails(4, 1, k=6)
+        filtered = engine.top_k_tails(4, 1, k=6, filtered=True)
+        assert raw.entities == filtered.entities
+
+
+class TestBatching:
+    def test_batch_matches_singles(self):
+        model = make_model()
+        batch_engine = InferenceEngine(model, cache_size=0)
+        single_engine = InferenceEngine(model, cache_size=0)
+        queries = [TopKQuery(h, r, 5) for h in range(4) for r in range(3)]
+        batched = batch_engine.top_k_tails_batch(queries)
+        singles = [single_engine.top_k_tails(q.anchor, q.relation, q.k)
+                   for q in queries]
+        for b, s in zip(batched, singles):
+            assert b.entities == s.entities
+
+    def test_batch_coalesces_into_one_scoring_call(self):
+        engine = InferenceEngine(make_model(), cache_size=0)
+        queries = [TopKQuery(h, 0, 3) for h in range(8)]
+        engine.top_k_tails_batch(queries)
+        assert engine.stats()["scoring_calls"] == 1
+
+    def test_batch_deduplicates_repeated_pairs(self):
+        engine = InferenceEngine(make_model(), cache_size=0)
+        queries = [TopKQuery(1, 1, 4)] * 10
+        results = engine.top_k_tails_batch(queries)
+        stats = engine.stats()
+        assert stats["rows_scored"] == 1
+        assert all(r.entities == results[0].entities for r in results)
+
+    def test_mixed_k_within_batch(self):
+        engine = InferenceEngine(make_model(), cache_size=0)
+        results = engine.top_k_tails_batch([TopKQuery(0, 0, 3), TopKQuery(0, 0, 8)])
+        assert len(results[0].entities) == 3
+        assert len(results[1].entities) == 8
+        assert results[1].entities[:3] == results[0].entities
+
+
+class TestCacheBehaviour:
+    def test_repeat_query_hits_cache(self, engine):
+        engine.top_k_tails(2, 2, k=5)
+        calls_before = engine.stats()["scoring_calls"]
+        engine.top_k_tails(2, 2, k=5)
+        assert engine.stats()["scoring_calls"] == calls_before
+        assert engine.cache.stats()["hits"] >= 1
+
+    def test_different_k_is_a_different_entry(self, engine):
+        engine.top_k_tails(2, 2, k=5)
+        calls_before = engine.stats()["scoring_calls"]
+        engine.top_k_tails(2, 2, k=6)
+        assert engine.stats()["scoring_calls"] == calls_before + 1
+
+    def test_reload_invalidates_cache_and_swaps_weights(self, tmp_path):
+        model_a = make_model(rng=0)
+        model_b = make_model(rng=99)
+        path = str(tmp_path / "b.npz")
+        save_checkpoint(path, model_b)
+
+        engine = InferenceEngine(model_a, cache_size=64)
+        before = engine.top_k_tails(0, 1, k=5)
+        engine.reload(path)
+        assert len(engine.cache) == 0
+        after = engine.top_k_tails(0, 1, k=5)
+        assert engine.stats()["reloads"] == 1
+        # Different weights must change the scores (entities may coincide).
+        assert before.scores != after.scores
+
+    def test_set_known_triples_invalidates_cache(self, engine):
+        engine.top_k_tails(0, 1, k=5, filtered=True)
+        engine.set_known_triples([(0, 1, int(engine.top_k_tails(0, 1, k=1).entities[0]))])
+        top = engine.top_k_tails(0, 1, k=5, filtered=True)
+        best_raw = engine.top_k_tails(0, 1, k=1).entities[0]
+        assert best_raw not in top.entities
+
+    def test_snapshot_cached_and_dropped_on_reload(self, tmp_path):
+        engine = InferenceEngine(make_model(rng=0), cache_size=4)
+        snap1 = engine.entity_snapshot()
+        assert snap1 is engine.entity_snapshot()
+        path = str(tmp_path / "c.npz")
+        save_checkpoint(path, make_model(rng=5))
+        engine.reload(path)
+        assert not np.array_equal(snap1, engine.entity_snapshot())
+
+
+class TestNearestEntities:
+    def test_matches_brute_force_and_excludes_self(self):
+        engine = InferenceEngine(make_model(), cache_size=0)
+        result = engine.nearest_entities(7, k=5)
+        ent = engine.model.entity_embedding_matrix()
+        distances = np.linalg.norm(ent - ent[7], axis=1)
+        distances[7] = np.inf
+        expected = np.argsort(distances, kind="stable")[:5]
+        assert 7 not in result.entities
+        assert list(result.entities) == [int(i) for i in expected]
+        np.testing.assert_allclose(result.scores, distances[expected], atol=1e-9)
+
+    def test_cached_and_invalidated_on_reload(self, tmp_path):
+        engine = InferenceEngine(make_model(rng=0), cache_size=16)
+        first = engine.nearest_entities(3, k=4)
+        assert engine.nearest_entities(3, k=4) == first
+        assert engine.cache.stats()["hits"] >= 1
+        path = str(tmp_path / "n.npz")
+        save_checkpoint(path, make_model(rng=42))
+        engine.reload(path)
+        after = engine.nearest_entities(3, k=4)
+        assert first.scores != after.scores
+
+    def test_out_of_range_entity_raises(self):
+        engine = InferenceEngine(make_model(), cache_size=0)
+        with pytest.raises(IndexError, match="out of range"):
+            engine.nearest_entities(10_000)
+
+
+class TestScoringAPI:
+    def test_score_matches_model(self, engine):
+        expected = float(engine.model.score_triples(np.array([[1, 2, 3]]))[0])
+        assert engine.score(1, 2, 3) == pytest.approx(expected)
+
+    def test_classify_threshold(self, engine):
+        scores = engine.score_triples([(0, 0, 1), (2, 1, 3)])
+        threshold = float(scores.mean())
+        labels = engine.classify([(0, 0, 1), (2, 1, 3)], threshold)
+        assert labels == [bool(s <= threshold) for s in scores]
+
+    def test_from_checkpoint_round_trip(self, tmp_path):
+        model = make_model(rng=7)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model)
+        engine = InferenceEngine.from_checkpoint(path)
+        assert engine.spec().model == "transe"
+        direct = model.predict_tails(2, 1, k=4)
+        assert list(engine.top_k_tails(2, 1, k=4).entities) == [int(i) for i in direct]

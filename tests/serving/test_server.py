@@ -1,0 +1,192 @@
+"""HTTP-level tests: a real server on an ephemeral port, queried with urllib."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.registry import ModelSpec, build_model
+from repro.serving import InferenceEngine, make_server
+
+
+@pytest.fixture
+def served():
+    """A live server on an ephemeral port; yields (server, model)."""
+    model = build_model(ModelSpec(model="transe", formulation="sparse",
+                                  n_entities=30, n_relations=4,
+                                  embedding_dim=8), rng=0)
+    engine = InferenceEngine(model, known_triples=[(0, 1, 2)], cache_size=32)
+    server = make_server(engine, port=0, max_wait_ms=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, model
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5.0)
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post_error(server, path, payload) -> urllib.error.HTTPError:
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post(server, path, payload)
+    return excinfo.value
+
+
+class TestEndpoints:
+    def test_health(self, served):
+        server, _ = served
+        payload = get(server, "/v1/health")
+        assert payload["status"] == "ok"
+        assert payload["model"] == "SpTransE"
+
+    def test_spec_round_trips(self, served):
+        server, model = served
+        payload = get(server, "/v1/spec")
+        spec = ModelSpec.from_dict(payload)
+        rebuilt = build_model(spec, rng=0)
+        assert type(rebuilt) is type(model)
+
+    def test_top_k_tails_matches_predict_tails(self, served):
+        server, model = served
+        out = post(server, "/v1/top_k_tails", {"head": 3, "relation": 1, "k": 6})
+        expected = model.predict_tails(3, 1, k=6)
+        assert out["entities"] == [int(i) for i in expected]
+        assert len(out["scores"]) == 6
+
+    def test_top_k_heads(self, served):
+        server, model = served
+        out = post(server, "/v1/top_k_heads", {"tail": 5, "relation": 2, "k": 4})
+        expected = model.predict_heads(2, 5, k=4)
+        assert out["entities"] == [int(i) for i in expected]
+
+    def test_filtered_excludes_known_positive(self, served):
+        server, model = served
+        out = post(server, "/v1/top_k_tails",
+                   {"head": 0, "relation": 1, "k": model.n_entities,
+                    "filtered": True})
+        assert 2 not in out["entities"]
+
+    def test_score_and_classify(self, served):
+        server, model = served
+        triples = [[0, 1, 2], [3, 2, 4]]
+        scored = post(server, "/v1/score", {"triples": triples})
+        expected = model.score_triples(np.asarray(triples))
+        np.testing.assert_allclose(scored["scores"], expected)
+
+        labels = post(server, "/v1/classify",
+                      {"triples": triples, "threshold": float(expected.mean())})
+        assert labels["labels"] == [bool(s <= expected.mean()) for s in expected]
+
+    def test_nearest_entities(self, served):
+        server, model = served
+        out = post(server, "/v1/nearest", {"entity": 4, "k": 3})
+        assert 4 not in out["entities"]
+        assert len(out["entities"]) == 3
+        expected = server.engine.nearest_entities(4, k=3)
+        assert out["entities"] == list(expected.entities)
+
+    def test_nearest_out_of_range_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/nearest", {"entity": 10_000})
+        assert error.code == 400
+
+    def test_stats_exposes_engine_cache_and_batcher(self, served):
+        server, _ = served
+        post(server, "/v1/top_k_tails", {"head": 1, "relation": 1})
+        payload = get(server, "/v1/stats")
+        assert payload["queries_served"] >= 1
+        assert "cache" in payload and "batcher" in payload
+
+
+class TestErrorHandling:
+    def test_missing_field_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/top_k_tails", {"head": 1})
+        assert error.code == 400
+        assert "relation" in json.loads(error.read().decode())["error"]
+
+    def test_out_of_range_id_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/top_k_tails",
+                           {"head": 10_000, "relation": 0})
+        assert error.code == 400
+
+    def test_non_integer_id_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/top_k_tails",
+                           {"head": "zero", "relation": 0})
+        assert error.code == 400
+
+    def test_malformed_json_is_400(self, served):
+        server, _ = served
+        request = urllib.request.Request(
+            server.url + "/v1/top_k_tails", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, served):
+        server, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/nope")
+        assert excinfo.value.code == 404
+
+    def test_unknown_post_path_is_404(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/nope", {"head": 1})
+        assert error.code == 404
+        # The connection must survive the 404 (body drained, keep-alive intact).
+        out = post(server, "/v1/top_k_tails", {"head": 1, "relation": 0, "k": 2})
+        assert len(out["entities"]) == 2
+
+    def test_bad_triples_shape_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/score", {"triples": [[1, 2]]})
+        assert error.code == 400
+
+    def test_score_with_out_of_range_id_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/score", {"triples": [[99_999, 0, 0]]})
+        assert error.code == 400
+
+
+class TestCoalescingOverHTTP:
+    def test_concurrent_http_queries_share_scoring_calls(self, served):
+        server, _ = served
+        server.engine.cache.clear()
+        baseline_calls = server.engine.stats()["scoring_calls"]
+        barrier = threading.Barrier(8)
+        results = {}
+
+        def worker(i):
+            barrier.wait()
+            results[i] = post(server, "/v1/top_k_tails",
+                              {"head": i, "relation": 0, "k": 3})
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(results) == 8
+        batcher_stats = server.batcher.stats()
+        assert batcher_stats["requests"] >= 8
+        # Eight distinct queries must have cost fewer than eight scoring calls.
+        assert server.engine.stats()["scoring_calls"] - baseline_calls < 8
