@@ -28,7 +28,7 @@ Quickstart
 True
 """
 
-from repro import autograd, baselines, data, evaluation, losses, models, nn, optim
+from repro import autograd, baselines, data, evaluation, experiment, losses, models, nn, optim
 from repro import profiling, sparse, training, utils
 from repro.data import KGDataset, generate_synthetic_kg, make_dataset_like
 from repro.models import SpTransE, SpTransH, SpTransR, SpTorusE
@@ -49,6 +49,7 @@ __all__ = [
     "data",
     "training",
     "evaluation",
+    "experiment",
     "profiling",
     "utils",
     "KGDataset",

@@ -1,22 +1,25 @@
-"""Command-line interface for training, evaluating, and serving KGE models.
+"""Command-line interface for running, training, evaluating, and serving KGE models.
 
 The paper's artifact ships one training script per (framework, model) pair;
-this CLI folds them into one entry point and adds an inference surface:
+this CLI folds them into one entry point around the declarative experiment
+API (:mod:`repro.experiment`):
 
 .. code-block:: bash
 
-    # train sparse TransE on a synthetic FB15K-shaped graph at 1% scale
+    # one reproducible end-to-end run from a single JSON artifact
+    sptransx run experiment.json --artifacts runs/transe-fb15k
+
+    # write the spec an equivalent `train` invocation would execute
+    sptransx export-spec --model transe --dataset FB15K --scale 0.01 \
+        --epochs 20 --dim 64 --output experiment.json
+
+    # classic imperative surface (thin shims over the same API)
     sptransx train --model transe --dataset FB15K --scale 0.01 \
         --epochs 20 --batch-size 2048 --dim 64 --checkpoint /tmp/transe.npz
-
-    # train the dense baseline on a CSV dump
-    sptransx train --model transh --formulation dense --triples-file kg.csv
-
-    # evaluate a checkpoint (model reconstructed from its stored ModelSpec)
     sptransx evaluate --checkpoint /tmp/transe.npz --dataset FB15K --scale 0.01
 
-    # serve the checkpoint over JSON/HTTP and query it
-    sptransx serve --checkpoint /tmp/transe.npz --port 8080
+    # serve a checkpoint *or* an artifact directory over JSON/HTTP
+    sptransx serve --checkpoint runs/transe-fb15k --port 8080
     sptransx query --url http://127.0.0.1:8080 --head 12 --relation 3 -k 10
 
     # list datasets / models / SpMM backends / registry capabilities
@@ -33,29 +36,24 @@ import urllib.request
 from typing import Dict, Optional
 
 from repro.baselines import DENSE_MODELS
-from repro.data import (
-    KGDataset,
-    load_triples_file,
-    make_dataset_like,
-)
 from repro.data.catalog import PAPER_DATASETS
-from repro.evaluation import evaluate_link_prediction
+from repro.data.negative_sampling import SAMPLER_STRATEGIES
+from repro.experiment import (
+    DATA_GENERATORS,
+    DataSpec,
+    EvalSpec,
+    Experiment,
+    ExperimentSpec,
+)
 from repro.models import SPARSE_MODELS
 from repro.registry import (
     ModelSpec,
     UnknownModelError,
-    build_model,
     registry_summary,
 )
 from repro.sparse import available_backends
-from repro.training import Trainer, TrainingConfig
-from repro.training.checkpoint import (
-    load_checkpoint,
-    model_from_checkpoint,
-    restore_into,
-    save_checkpoint,
-)
-from repro.training.trainer import build_optimizer
+from repro.training import TrainingConfig
+from repro.training.checkpoint import load_checkpoint, model_from_checkpoint
 from repro.utils.logging import enable_console_logging
 
 
@@ -65,29 +63,28 @@ def build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser("run", help="execute an experiment spec end to end")
+    run.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run.add_argument("--artifacts", default=None,
+                     help="artifact directory to write "
+                          "(default: runs/<experiment name>)")
+    run.add_argument("--resume", default=None,
+                     help="checkpoint file or artifact directory to resume from")
+    run.add_argument("--quiet", action="store_true")
+
+    export = sub.add_parser(
+        "export-spec",
+        help="write the ExperimentSpec an equivalent `train` invocation would run")
+    _add_experiment_arguments(export)
+    export.add_argument("--name", default=None,
+                        help="experiment name (default: <model>-<dataset>)")
+    export.add_argument("--tags", nargs="*", default=[],
+                        help="free-form labels recorded in the spec")
+    export.add_argument("--output", default=None,
+                        help="file to write (default: stdout)")
+
     train = sub.add_parser("train", help="train a KGE model")
-    _add_data_arguments(train)
-    train.add_argument("--model", default="transe",
-                       choices=sorted(set(SPARSE_MODELS) | set(DENSE_MODELS)))
-    train.add_argument("--formulation", default="sparse", choices=["sparse", "dense"])
-    train.add_argument("--dim", type=int, default=64, help="embedding dimension")
-    train.add_argument("--relation-dim", type=int, default=None,
-                       help="relation-space dimension (projection models only)")
-    train.add_argument("--backend", default=None,
-                       help="SpMM backend (sparse models; default scipy)")
-    train.add_argument("--dissimilarity", default=None,
-                       help="distance function, e.g. L1/L2/torus_L2 "
-                            "(models that accept one; default per model)")
-    train.add_argument("--epochs", type=int, default=100)
-    train.add_argument("--batch-size", type=int, default=32768)
-    train.add_argument("--learning-rate", type=float, default=4e-4)
-    train.add_argument("--margin", type=float, default=0.5)
-    train.add_argument("--optimizer", default="adam", choices=["adam", "sgd", "adagrad"])
-    train.add_argument("--sparse-grads", action="store_true",
-                       help="row-sparse gradient pipeline: backward and optimizer "
-                            "cost scale with the batch instead of the vocabulary "
-                            "(exact for sgd/adagrad, lazy SparseAdam-style for adam)")
-    train.add_argument("--seed", type=int, default=0)
+    _add_experiment_arguments(train)
     train.add_argument("--checkpoint", default=None, help="where to save the trained model")
     train.add_argument("--resume", default=None, help="checkpoint to resume from")
     train.add_argument("--eval", action="store_true",
@@ -102,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="serve a checkpoint over JSON/HTTP")
     _add_data_arguments(serve)
-    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument("--checkpoint", required=True,
+                       help="checkpoint file or `sptransx run` artifact directory")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="port to bind (0 picks an ephemeral port)")
@@ -151,91 +149,182 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
                         help="down-scaling factor for the synthetic dataset")
     parser.add_argument("--triples-file", default=None,
                         help="CSV/TSV/TTL file of labelled triples to load instead")
+    parser.add_argument("--generator", default="zipf", choices=list(DATA_GENERATORS),
+                        help="synthetic generator: degree-skewed 'zipf' (timing "
+                             "workloads) or 'learnable' (accuracy workloads)")
     parser.add_argument("--test-fraction", type=float, default=0.05)
     parser.add_argument("--valid-fraction", type=float, default=0.0)
     parser.add_argument("--data-seed", type=int, default=0)
 
 
-def _load_dataset(args: argparse.Namespace) -> KGDataset:
-    if args.triples_file:
-        kg = load_triples_file(args.triples_file)
-        if args.test_fraction > 0 or args.valid_fraction > 0:
-            kg = kg.split_train_valid_test(args.valid_fraction, args.test_fraction,
-                                           rng=args.data_seed)
-        return kg
-    return make_dataset_like(args.dataset, scale=args.scale, rng=args.data_seed,
-                             valid_fraction=args.valid_fraction,
-                             test_fraction=args.test_fraction)
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Data + model + training arguments shared by ``train`` and ``export-spec``."""
+    _add_data_arguments(parser)
+    parser.add_argument("--model", default="transe",
+                        choices=sorted(set(SPARSE_MODELS) | set(DENSE_MODELS)))
+    parser.add_argument("--formulation", default="sparse", choices=["sparse", "dense"])
+    parser.add_argument("--dim", type=int, default=64, help="embedding dimension")
+    parser.add_argument("--relation-dim", type=int, default=None,
+                        help="relation-space dimension (projection models only)")
+    parser.add_argument("--backend", default=None,
+                        help="SpMM backend (sparse models; default scipy)")
+    parser.add_argument("--dissimilarity", default=None,
+                        help="distance function, e.g. L1/L2/torus_L2 "
+                             "(models that accept one; default per model)")
+    parser.add_argument("--epochs", type=int, default=100)
+    parser.add_argument("--batch-size", type=int, default=32768)
+    parser.add_argument("--learning-rate", type=float, default=4e-4)
+    parser.add_argument("--margin", type=float, default=0.5)
+    parser.add_argument("--optimizer", default="adam", choices=["adam", "sgd", "adagrad"])
+    parser.add_argument("--negative-sampler", default="uniform",
+                        choices=list(SAMPLER_STRATEGIES),
+                        help="corruption strategy (bernoulli = relation-aware)")
+    parser.add_argument("--num-negatives", type=int, default=1,
+                        help="negatives contrasted per positive each epoch")
+    parser.add_argument("--sparse-grads", action="store_true",
+                        help="row-sparse gradient pipeline: backward and optimizer "
+                             "cost scale with the batch instead of the vocabulary "
+                             "(exact for sgd/adagrad, lazy SparseAdam-style for adam)")
+    parser.add_argument("--seed", type=int, default=0)
 
 
-def _spec_from_args(args: argparse.Namespace, kg: KGDataset) -> ModelSpec:
-    """Translate CLI arguments into the :class:`ModelSpec` to build and save."""
-    return ModelSpec(
-        model=args.model,
-        formulation=args.formulation,
-        n_entities=kg.n_entities,
-        n_relations=kg.n_relations,
-        embedding_dim=args.dim,
-        relation_dim=args.relation_dim,
-        backend=args.backend,
-        dissimilarity=args.dissimilarity,
-        sparse_grads=bool(getattr(args, "sparse_grads", False)),
-    )
-
-
-def _build_model(args: argparse.Namespace, kg: KGDataset):
+# --------------------------------------------------------------------- #
+# args -> spec translation (the one place CLI flags meet the experiment API)
+# --------------------------------------------------------------------- #
+def _data_spec_from_args(args: argparse.Namespace) -> DataSpec:
     try:
-        return build_model(_spec_from_args(args, kg), rng=args.seed)
-    except (UnknownModelError, ValueError) as exc:
+        return DataSpec(
+            dataset=args.dataset,
+            scale=args.scale,
+            triples_file=args.triples_file,
+            generator=getattr(args, "generator", "zipf"),
+            valid_fraction=args.valid_fraction,
+            test_fraction=args.test_fraction,
+            seed=args.data_seed,
+            negative_sampler=getattr(args, "negative_sampler", "uniform"),
+            num_negatives=getattr(args, "num_negatives", 1),
+        )
+    except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+
+
+def _experiment_spec_from_args(args: argparse.Namespace,
+                               eval_spec: Optional[EvalSpec] = None,
+                               name: Optional[str] = None):
+    """Build the :class:`ExperimentSpec` a ``train``-shaped invocation describes.
+
+    Returns ``(spec, dataset_or_None)``: file-backed data must be loaded here
+    to pin the vocabulary sizes into the spec, and that already-materialised
+    dataset is handed back so the runner does not load the file twice.
+    """
+    data = _data_spec_from_args(args)
+    kg = None
+    sizes = data.vocab_sizes()
+    if sizes is None:
+        kg = data.materialize()
+        sizes = (kg.n_entities, kg.n_relations)
+    try:
+        model = ModelSpec(
+            model=args.model,
+            formulation=args.formulation,
+            n_entities=sizes[0],
+            n_relations=sizes[1],
+            embedding_dim=args.dim,
+            relation_dim=args.relation_dim,
+            backend=args.backend,
+            dissimilarity=args.dissimilarity,
+            sparse_grads=bool(args.sparse_grads),
+        )
+        training = TrainingConfig(
+            epochs=args.epochs, batch_size=args.batch_size,
+            learning_rate=args.learning_rate, margin=args.margin,
+            optimizer=args.optimizer, seed=args.seed,
+            log_every=0 if getattr(args, "quiet", True) else max(1, args.epochs // 10),
+            sparse_grads=args.sparse_grads,
+        )
+        spec = ExperimentSpec(
+            name=name if name is not None else f"{args.model}-{args.dataset.lower()}",
+            data=data,
+            model=model,
+            training=training,
+            eval=eval_spec if eval_spec is not None else EvalSpec(protocols=()),
+            seed=args.seed,
+            tags=tuple(getattr(args, "tags", ())),
+        )
+        return spec, kg
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+# --------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------- #
+def _command_run(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        enable_console_logging()
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load experiment spec {args.spec}: {exc}") from exc
+    artifact_dir = args.artifacts if args.artifacts else f"runs/{spec.name}"
+    try:
+        result = Experiment(spec, artifact_dir=artifact_dir,
+                            resume=args.resume).run()
+    except (UnknownModelError, ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc)) from exc
+    print(json.dumps({"experiment": spec.name,
+                      "artifacts": artifact_dir,
+                      "dataset": result.dataset.name,
+                      "model": result.model.config(),
+                      "metrics": result.metrics},
+                     indent=2, default=float))
+    return 0
+
+
+def _command_export_spec(args: argparse.Namespace) -> int:
+    spec, _ = _experiment_spec_from_args(args, eval_spec=EvalSpec(),
+                                         name=args.name)
+    if args.output:
+        spec.to_file(args.output)
+        print(f"spec written to {args.output}")
+    else:
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
 
 
 def _command_train(args: argparse.Namespace) -> int:
     if not args.quiet:
         enable_console_logging()
-    kg = _load_dataset(args)
-    model = _build_model(args, kg)
-    config = TrainingConfig(
-        epochs=args.epochs, batch_size=args.batch_size, learning_rate=args.learning_rate,
-        margin=args.margin, optimizer=args.optimizer, seed=args.seed,
-        log_every=0 if args.quiet else max(1, args.epochs // 10),
-        sparse_grads=args.sparse_grads,
-    )
-    optimizer = build_optimizer(config.optimizer, model, config.learning_rate)
-    start_epoch = 0
-    if args.resume:
-        checkpoint = load_checkpoint(args.resume)
-        restore_into(checkpoint, model, optimizer)
-        start_epoch = checkpoint.epoch
-        print(f"resumed from {args.resume} at epoch {start_epoch}")
-
-    trainer = Trainer(model, kg, config, optimizer=optimizer)
-    result = trainer.train(epochs=max(args.epochs - start_epoch, 0))
+    want_eval = args.eval and (args.test_fraction > 0)
+    eval_spec = EvalSpec(protocols=("link_prediction",) if want_eval else ())
+    spec, dataset = _experiment_spec_from_args(args, eval_spec=eval_spec)
+    try:
+        result = Experiment(spec, checkpoint_path=args.checkpoint,
+                            resume=args.resume, dataset=dataset).run()
+    except (UnknownModelError, ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc)) from exc
 
     summary = {
-        "dataset": kg.name,
-        "model": model.config(),
-        "final_loss": result.final_loss,
-        "breakdown_s": result.breakdown(),
+        "dataset": result.dataset.name,
+        "model": result.model.config(),
+        "final_loss": result.training.final_loss,
+        "breakdown_s": result.training.breakdown(),
     }
     print(json.dumps(summary, indent=2, default=float))
-
     if args.checkpoint:
-        path = save_checkpoint(args.checkpoint, model, optimizer,
-                               epoch=start_epoch + len(result.epochs),
-                               losses=result.losses)
-        print(f"checkpoint written to {path}")
-
-    if args.eval and kg.split.n_test > 0:
-        metrics = evaluate_link_prediction(model, kg.split.test,
-                                           known_triples=kg.known_triples())
-        print(json.dumps({"link_prediction": metrics.to_dict()}, indent=2))
+        print(f"checkpoint written to {args.checkpoint}")
+    if want_eval:
+        report = result.report("link_prediction")
+        print(json.dumps({"link_prediction": report.metrics}, indent=2))
     return 0
 
 
 def _restore_model(checkpoint_path: str):
     """Rebuild a checkpointed model through its stored spec, with CLI-grade errors."""
-    checkpoint = load_checkpoint(checkpoint_path)
+    try:
+        checkpoint = load_checkpoint(checkpoint_path)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
     try:
         return model_from_checkpoint(checkpoint)
     except (UnknownModelError, ValueError) as exc:
@@ -243,32 +332,48 @@ def _restore_model(checkpoint_path: str):
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    kg = _load_dataset(args)
+    kg = _data_spec_from_args(args).materialize()
     model = _restore_model(args.checkpoint)
-
-    split = {"test": kg.split.test, "valid": kg.split.valid, "train": kg.split.train}[args.split]
-    if split.shape[0] == 0:
-        raise SystemExit(f"the {args.split!r} split is empty; use --test-fraction > 0")
-    metrics = evaluate_link_prediction(model, split, known_triples=kg.known_triples(),
-                                       ks=args.ks)
-    print(json.dumps(metrics.to_dict(), indent=2))
+    try:
+        eval_spec = EvalSpec(protocols=("link_prediction",), ks=tuple(args.ks),
+                             split=args.split)
+        [evaluator] = eval_spec.build_evaluators()
+        report = evaluator.run(model, kg)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(json.dumps(report.metrics, indent=2))
     return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.serving import InferenceEngine, make_server
 
-    model = _restore_model(args.checkpoint)
-    engine = InferenceEngine(model, cache_size=args.cache_size)
-    if args.filtered:
-        kg = _load_dataset(args)
-        if (kg.n_entities, kg.n_relations) != (model.n_entities, model.n_relations):
-            raise SystemExit(
-                f"dataset vocabulary ({kg.n_entities} entities, {kg.n_relations} "
-                f"relations) does not match the checkpoint ({model.n_entities}, "
-                f"{model.n_relations}); filtered serving needs the training data"
-            )
-        engine.set_known_triples(kg.known_triples())
+    if os.path.isdir(args.checkpoint):
+        # Artifact directories are self-contained: the stored spec's own data
+        # section backs the filtered protocol, so the CLI data flags (which
+        # default to a different generator) cannot silently install the wrong
+        # filter set.
+        try:
+            engine = InferenceEngine.from_artifact(args.checkpoint,
+                                                   filtered=args.filtered,
+                                                   cache_size=args.cache_size)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"cannot serve artifact {args.checkpoint}: {exc}") from exc
+        model = engine.model
+    else:
+        model = _restore_model(args.checkpoint)
+        engine = InferenceEngine(model, cache_size=args.cache_size)
+        if args.filtered:
+            kg = _data_spec_from_args(args).materialize()
+            if (kg.n_entities, kg.n_relations) != (model.n_entities, model.n_relations):
+                raise SystemExit(
+                    f"dataset vocabulary ({kg.n_entities} entities, {kg.n_relations} "
+                    f"relations) does not match the checkpoint ({model.n_entities}, "
+                    f"{model.n_relations}); filtered serving needs the training data"
+                )
+            engine.set_known_triples(kg.known_triples())
     server = make_server(engine, host=args.host, port=args.port,
                          coalesce=not args.no_coalesce, max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms, verbose=args.verbose)
@@ -388,6 +493,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
+        "run": _command_run,
+        "export-spec": _command_export_spec,
         "train": _command_train,
         "evaluate": _command_evaluate,
         "serve": _command_serve,
@@ -396,7 +503,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     }
     handler = commands.get(args.command)
     if handler is None:
-        parser.error(f"unknown command {args.command!r}")
+        parser.error(f"unknown command {args.command}")
         return 2
     return handler(args)
 

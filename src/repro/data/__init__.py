@@ -21,6 +21,8 @@ from repro.data.negative_sampling import (
     NegativeSampler,
     UniformNegativeSampler,
     BernoulliNegativeSampler,
+    SAMPLER_STRATEGIES,
+    make_negative_sampler,
 )
 from repro.data.batching import TripletBatch, BatchIterator
 from repro.data.streaming import StreamingBatchIterator
@@ -43,6 +45,8 @@ __all__ = [
     "NegativeSampler",
     "UniformNegativeSampler",
     "BernoulliNegativeSampler",
+    "SAMPLER_STRATEGIES",
+    "make_negative_sampler",
     "TripletBatch",
     "BatchIterator",
     "StreamingBatchIterator",

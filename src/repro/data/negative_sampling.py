@@ -150,3 +150,36 @@ class BernoulliNegativeSampler(NegativeSampler):
 
     def _head_corruption_probability(self, relations: np.ndarray) -> np.ndarray:
         return self.head_probabilities[relations]
+
+
+#: Sampler strategy names accepted by :func:`make_negative_sampler` (and by a
+#: :class:`~repro.experiment.DataSpec`'s ``negative_sampler`` field).
+SAMPLER_STRATEGIES = ("uniform", "bernoulli")
+
+
+def make_negative_sampler(
+    strategy: str,
+    dataset: KGDataset,
+    rng=None,
+    filtered: bool = False,
+    known_triples: Optional[Set[Tuple[int, int, int]]] = None,
+) -> NegativeSampler:
+    """Instantiate the sampler named by ``strategy`` for ``dataset``.
+
+    The single constructor the declarative layers (experiment specs, CLI)
+    go through, so sampler wiring lives in one place.  ``"uniform"`` corrupts
+    head or tail with equal probability; ``"bernoulli"`` uses the
+    relation-aware probabilities of Wang et al. (2014), estimated from the
+    dataset's training split.
+    """
+    strategy = str(strategy).lower()
+    if strategy == "uniform":
+        return UniformNegativeSampler(dataset.n_entities, rng=rng,
+                                      filtered=filtered, known_triples=known_triples)
+    if strategy == "bernoulli":
+        return BernoulliNegativeSampler(dataset, rng=rng,
+                                        filtered=filtered, known_triples=known_triples)
+    raise ValueError(
+        f"unknown negative-sampler strategy {strategy!r}; "
+        f"available: {list(SAMPLER_STRATEGIES)}"
+    )

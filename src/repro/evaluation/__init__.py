@@ -14,6 +14,15 @@ from repro.evaluation.relation_categories import (
     classify_relations,
     evaluate_by_relation_category,
 )
+from repro.evaluation.evaluators import (
+    EVALUATOR_PROTOCOLS,
+    EvalReport,
+    Evaluator,
+    LinkPredictionEvaluator,
+    RelationCategoryEvaluator,
+    TripleClassificationEvaluator,
+    build_evaluator,
+)
 
 __all__ = [
     "compute_ranks",
@@ -25,4 +34,11 @@ __all__ = [
     "CategoryBreakdown",
     "classify_relations",
     "evaluate_by_relation_category",
+    "EVALUATOR_PROTOCOLS",
+    "EvalReport",
+    "Evaluator",
+    "LinkPredictionEvaluator",
+    "TripleClassificationEvaluator",
+    "RelationCategoryEvaluator",
+    "build_evaluator",
 ]

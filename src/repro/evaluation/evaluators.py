@@ -1,0 +1,195 @@
+"""The common ``Evaluator`` protocol: one interface over every eval task.
+
+Historically each evaluation protocol was a free function with its own
+signature — ``evaluate_link_prediction(model, triples, known_triples, ...)``,
+``evaluate_triple_classification(model, valid, test, ...)``,
+``evaluate_by_relation_category(model, dataset, ...)`` — so every consumer
+(the CLI, benchmarks, and now the experiment runner) re-implemented the
+argument plumbing and invented its own result-dict shape.
+
+This module unifies them behind one interface::
+
+    evaluator = build_evaluator("link_prediction", ks=(1, 10))
+    report = evaluator.run(model, dataset)   # -> EvalReport
+    report.to_dict()                         # uniform JSON shape
+
+Every evaluator consumes a trained model plus the full :class:`KGDataset`
+(which knows its own splits and filter set) and returns an
+:class:`EvalReport` whose ``to_dict`` nests the underlying result dataclass's
+``to_dict`` under a ``metrics`` key, tagged with the protocol name and the
+split(s) it consumed — which is what keeps an experiment's ``metrics.json``
+uniform across protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple, Type
+
+from repro.data.dataset import KGDataset
+from repro.evaluation.classification import evaluate_triple_classification
+from repro.evaluation.link_prediction import evaluate_link_prediction
+from repro.evaluation.ranks import RankingProtocol
+from repro.evaluation.relation_categories import (
+    CATEGORY_THRESHOLD,
+    evaluate_by_relation_category,
+)
+from repro.models.base import KGEModel
+from repro.utils.seeding import new_rng
+
+
+@dataclass
+class EvalReport:
+    """Uniform result wrapper shared by every evaluator.
+
+    Attributes
+    ----------
+    protocol:
+        The evaluator's registry name (``"link_prediction"``, ...).
+    split:
+        Which split(s) the metrics were computed on (``"test"``,
+        ``"valid+test"``, ...).
+    metrics:
+        The underlying result dataclass's ``to_dict()`` payload.
+    """
+
+    protocol: str
+    split: str
+    metrics: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"protocol": self.protocol, "split": self.split,
+                "metrics": self.metrics}
+
+
+class Evaluator:
+    """Base class: ``run(model, dataset) -> EvalReport``.
+
+    Subclasses set :attr:`protocol` (their registry name) and implement
+    :meth:`run`; :meth:`check_dataset` lets callers fail fast — e.g. before
+    spending a training run — when the dataset cannot support the protocol.
+    """
+
+    #: Registry name; also the key under which the report lands in metrics.json.
+    protocol: str = ""
+
+    def run(self, model: KGEModel, dataset: KGDataset) -> EvalReport:
+        raise NotImplementedError
+
+    def check_dataset(self, dataset: KGDataset) -> None:
+        """Raise ``ValueError`` when ``dataset`` lacks the splits this needs."""
+
+    @staticmethod
+    def _require_split(dataset: KGDataset, split: str, protocol: str) -> None:
+        if getattr(dataset.split, split).shape[0] == 0:
+            raise ValueError(
+                f"the {protocol!r} evaluation protocol needs a non-empty "
+                f"{split!r} split, but dataset {dataset.name!r} has none; "
+                f"raise the corresponding split fraction in the data spec"
+            )
+
+
+class LinkPredictionEvaluator(Evaluator):
+    """Filtered/raw MR / MRR / Hits@k ranking (the paper's headline metric)."""
+
+    protocol = "link_prediction"
+
+    def __init__(self, ks: Sequence[int] = (1, 3, 10), filtered: bool = True,
+                 batch_size: int = 64, split: str = "test") -> None:
+        if split not in ("train", "valid", "test"):
+            raise ValueError(f"split must be train/valid/test, got {split!r}")
+        self.ks = tuple(int(k) for k in ks)
+        self.filtered = bool(filtered)
+        self.batch_size = int(batch_size)
+        self.split = split
+
+    def check_dataset(self, dataset: KGDataset) -> None:
+        self._require_split(dataset, self.split, self.protocol)
+
+    def run(self, model: KGEModel, dataset: KGDataset) -> EvalReport:
+        self.check_dataset(dataset)
+        triples = getattr(dataset.split, self.split)
+        result = evaluate_link_prediction(
+            model, triples,
+            known_triples=dataset.known_triples() if self.filtered else None,
+            ks=self.ks,
+            protocol=(RankingProtocol.FILTERED if self.filtered
+                      else RankingProtocol.RAW),
+            batch_size=self.batch_size,
+        )
+        return EvalReport(protocol=self.protocol, split=self.split,
+                          metrics=result.to_dict())
+
+
+class TripleClassificationEvaluator(Evaluator):
+    """Per-relation threshold classification (Socher et al., 2013 protocol).
+
+    Thresholds are learned on the validation split and accuracy is reported on
+    the test split; corruption noise is drawn from a sampler seeded with
+    ``seed``, so repeated runs on the same model reproduce the same accuracy —
+    which is what lets a reloaded artifact re-verify its ``metrics.json``.
+    """
+
+    protocol = "classification"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def check_dataset(self, dataset: KGDataset) -> None:
+        self._require_split(dataset, "valid", self.protocol)
+        self._require_split(dataset, "test", self.protocol)
+
+    def run(self, model: KGEModel, dataset: KGDataset) -> EvalReport:
+        self.check_dataset(dataset)
+        result = evaluate_triple_classification(
+            model, dataset.split.valid, dataset.split.test, rng=new_rng(self.seed),
+        )
+        return EvalReport(protocol=self.protocol, split="valid+test",
+                          metrics=result.to_dict())
+
+
+class RelationCategoryEvaluator(Evaluator):
+    """Filtered link prediction broken down by 1-1 / 1-N / N-1 / N-N category."""
+
+    protocol = "relation_categories"
+
+    def __init__(self, ks: Sequence[int] = (1, 3, 10), batch_size: int = 64,
+                 threshold: float = CATEGORY_THRESHOLD) -> None:
+        self.ks = tuple(int(k) for k in ks)
+        self.batch_size = int(batch_size)
+        self.threshold = float(threshold)
+
+    def check_dataset(self, dataset: KGDataset) -> None:
+        self._require_split(dataset, "test", self.protocol)
+
+    def run(self, model: KGEModel, dataset: KGDataset) -> EvalReport:
+        self.check_dataset(dataset)
+        result = evaluate_by_relation_category(
+            model, dataset, ks=self.ks, batch_size=self.batch_size,
+            threshold=self.threshold,
+        )
+        return EvalReport(protocol=self.protocol, split="test",
+                          metrics=result.to_dict())
+
+
+#: protocol name -> evaluator class; what an EvalSpec's ``protocols`` list names.
+EVALUATOR_PROTOCOLS: Dict[str, Type[Evaluator]] = {
+    LinkPredictionEvaluator.protocol: LinkPredictionEvaluator,
+    TripleClassificationEvaluator.protocol: TripleClassificationEvaluator,
+    RelationCategoryEvaluator.protocol: RelationCategoryEvaluator,
+}
+
+
+def build_evaluator(protocol: str, **kwargs) -> Evaluator:
+    """Instantiate the evaluator registered under ``protocol``.
+
+    Keyword arguments are passed to the evaluator's constructor; an unknown
+    protocol raises ``ValueError`` naming the valid choices.
+    """
+    cls = EVALUATOR_PROTOCOLS.get(str(protocol))
+    if cls is None:
+        raise ValueError(
+            f"unknown evaluation protocol {protocol!r}; "
+            f"available: {sorted(EVALUATOR_PROTOCOLS)}"
+        )
+    return cls(**kwargs)

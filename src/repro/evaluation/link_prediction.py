@@ -38,8 +38,16 @@ class LinkPredictionResult:
         """Convenience accessor for ``hits[k]``."""
         return self.hits[k]
 
-    def to_dict(self) -> Dict[str, float]:
-        out = {"mean_rank": self.mean_rank, "mrr": self.mrr}
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record; every evaluation result dataclass carries one.
+
+        All three evaluators (link prediction, triple classification, relation
+        categories) expose the same shape — a ``task`` discriminator plus flat
+        metric keys — so a ``metrics.json`` aggregating them stays uniform.
+        """
+        out: Dict[str, object] = {"task": "link_prediction",
+                                  "protocol": self.protocol,
+                                  "mean_rank": self.mean_rank, "mrr": self.mrr}
         out.update({f"hits@{k}": v for k, v in self.hits.items()})
         return out
 

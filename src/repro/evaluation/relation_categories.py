@@ -70,7 +70,9 @@ class CategoryBreakdown:
     overall: Dict[str, float]
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record, shape-consistent with the other evaluators."""
         return {
+            "task": "relation_categories",
             "per_category": self.per_category,
             "counts": self.counts,
             "overall": self.overall,

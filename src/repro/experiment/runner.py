@@ -1,0 +1,313 @@
+"""The :class:`Experiment` runner: materialise → build → train → eval → write.
+
+One call composes every layer of the library behind an
+:class:`~repro.experiment.spec.ExperimentSpec`:
+
+1. materialise the dataset the :class:`~repro.experiment.spec.DataSpec` names;
+2. build the model through the spec-driven registry;
+3. train with :class:`~repro.training.Trainer` (+ a history callback);
+4. run every requested protocol through the common
+   :class:`~repro.evaluation.Evaluator` interface;
+5. write a **self-contained artifact directory**::
+
+       <artifact_dir>/
+         spec.json          # the exact ExperimentSpec (vocab sizes resolved)
+         checkpoint.npz     # model + optimiser state, training config metadata
+         metrics.json       # final loss, phase breakdown, per-protocol reports
+         history.json       # per-epoch loss / timing curves
+         environment.json   # python/numpy/platform/seed provenance record
+
+   ``load_model(artifact_dir)`` and ``InferenceEngine.from_artifact`` warm-load
+   it directly; ``Experiment(spec, resume=artifact_dir)`` resumes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import KGDataset, TripleSplit
+from repro.evaluation.evaluators import EvalReport
+from repro.models.base import KGEModel
+from repro.optim.optimizer import Optimizer
+from repro.registry import build_model
+from repro.training.callbacks import HistoryCallback
+from repro.training.checkpoint import (
+    ARTIFACT_CHECKPOINT,
+    load_checkpoint,
+    load_model,
+    restore_into,
+    save_checkpoint,
+)
+from repro.training.config import TrainingConfig
+from repro.training.trainer import Trainer, TrainingResult, build_optimizer
+from repro.utils.logging import get_logger
+from repro.utils.seeding import seed_everything
+
+from repro.experiment.spec import ExperimentSpec
+
+logger = get_logger("experiment")
+
+#: Artifact filenames (the checkpoint name lives in repro.training.checkpoint
+#: so `load_checkpoint` can resolve artifact directories without importing us).
+ARTIFACT_SPEC = "spec.json"
+ARTIFACT_METRICS = "metrics.json"
+ARTIFACT_HISTORY = "history.json"
+ARTIFACT_ENVIRONMENT = "environment.json"
+
+
+def _write_json(path: str, payload: Dict[str, object]) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    return path
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a finished run produced, in memory."""
+
+    spec: ExperimentSpec
+    dataset: KGDataset
+    model: KGEModel
+    training: TrainingResult
+    reports: List[EvalReport] = field(default_factory=list)
+    artifact_dir: Optional[str] = None
+
+    @property
+    def metrics(self) -> Dict[str, object]:
+        """The ``metrics.json`` payload (uniform across protocols)."""
+        return {
+            "experiment": self.spec.name,
+            "final_loss": self.training.final_loss,
+            "epochs_trained": len(self.training.epochs),
+            "breakdown_s": self.training.breakdown(),
+            "evaluations": {report.protocol: report.to_dict()
+                            for report in self.reports},
+        }
+
+    def report(self, protocol: str) -> EvalReport:
+        """The report for one protocol; raises ``KeyError`` when absent."""
+        for report in self.reports:
+            if report.protocol == protocol:
+                return report
+        raise KeyError(
+            f"no {protocol!r} report in this run; ran {[r.protocol for r in self.reports]}"
+        )
+
+
+class Experiment:
+    """Execute one :class:`ExperimentSpec` end to end.
+
+    Parameters
+    ----------
+    spec:
+        The declarative run description (or a path to its JSON file).
+    artifact_dir:
+        Where to write the self-contained artifact directory; ``None`` keeps
+        the run in memory only.
+    checkpoint_path:
+        Optional extra single-file checkpoint destination (what the
+        ``sptransx train --checkpoint`` shim uses).
+    resume:
+        Checkpoint file or artifact directory to resume training from; the
+        stored epoch counter reduces the remaining epoch budget and any stored
+        training config is schema-validated against this spec's.
+    dataset:
+        Optional pre-materialised dataset standing in for
+        ``spec.data.materialize()``.  A caller that already loaded the data
+        (e.g. the CLI pinning a triples file's vocabulary into the spec) can
+        hand it over instead of paying a second load; it MUST be the dataset
+        the spec's data section describes — the vocabulary check in
+        :meth:`ExperimentSpec.resolved_model_spec` is the only guard.
+    """
+
+    def __init__(self, spec: Union[ExperimentSpec, str],
+                 artifact_dir: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None,
+                 resume: Optional[str] = None,
+                 dataset: Optional[KGDataset] = None) -> None:
+        if isinstance(spec, str):
+            spec = ExperimentSpec.from_file(spec)
+        self.spec = spec
+        self.artifact_dir = artifact_dir
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        self._dataset = dataset
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "Experiment":
+        """Build a runner straight from a spec JSON file."""
+        return cls(ExperimentSpec.from_file(path), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExperimentResult:
+        """Execute the pipeline; returns the in-memory result.
+
+        Evaluation feasibility (split emptiness) is checked *before* training
+        so a spec asking for e.g. classification without a validation split
+        fails in milliseconds, not after the epoch budget.
+        """
+        spec = self.spec
+        seed_everything(spec.seed)
+        dataset = self._dataset if self._dataset is not None else spec.data.materialize()
+        model_spec = spec.resolved_model_spec(dataset)
+
+        evaluators = spec.eval.build_evaluators(seed=spec.seed)
+        for evaluator in evaluators:
+            evaluator.check_dataset(dataset)
+
+        model = build_model(model_spec, rng=spec.seed)
+        optimizer = build_optimizer(spec.training.optimizer, model,
+                                    spec.training.learning_rate)
+        start_epoch = self._maybe_resume(model, optimizer)
+
+        history = HistoryCallback()
+        trainer = Trainer(model, self._training_dataset(dataset), spec.training,
+                          optimizer=optimizer,
+                          sampler=spec.data.build_sampler(dataset, rng=spec.seed),
+                          callbacks=[history])
+        logger.info("experiment %r: training %s on %s for %d epoch(s)",
+                    spec.name, type(model).__name__, dataset.name,
+                    max(spec.training.epochs - start_epoch, 0))
+        training = trainer.train(epochs=max(spec.training.epochs - start_epoch, 0))
+
+        reports = [evaluator.run(model, dataset) for evaluator in evaluators]
+
+        result = ExperimentResult(spec=spec, dataset=dataset, model=model,
+                                  training=training, reports=reports,
+                                  artifact_dir=self.artifact_dir)
+        epoch = start_epoch + len(training.epochs)
+        if self.artifact_dir is not None:
+            self._write_artifacts(result, optimizer, epoch)
+        if self.checkpoint_path is not None:
+            save_checkpoint(self.checkpoint_path, model, optimizer, epoch=epoch,
+                            losses=training.losses,
+                            extra_metadata=self._checkpoint_metadata())
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _training_dataset(self, dataset: KGDataset) -> KGDataset:
+        """Tile positives ``num_negatives`` times so each copy draws its own
+        corruption (the multi-negative protocol); evaluators always see the
+        original dataset."""
+        k = self.spec.data.num_negatives
+        if k == 1:
+            return dataset
+        split = dataset.split
+        return KGDataset(
+            n_entities=dataset.n_entities,
+            n_relations=dataset.n_relations,
+            entity_vocab=dataset.entity_vocab,
+            relation_vocab=dataset.relation_vocab,
+            name=f"{dataset.name}-neg{k}",
+            split=TripleSplit(train=np.repeat(split.train, k, axis=0),
+                              valid=split.valid, test=split.test),
+        )
+
+    def _maybe_resume(self, model: KGEModel, optimizer: Optimizer) -> int:
+        if self.resume is None:
+            return 0
+        checkpoint = load_checkpoint(self.resume)
+        stored = checkpoint.metadata.get("training_config")
+        if stored is not None:
+            # Schema-validates the stored payload (stale keys fail loudly)
+            # and pins the hyperparameters the optimiser state depends on.
+            restored = TrainingConfig.from_dict(stored)
+            for attr in ("optimizer", "learning_rate"):
+                if getattr(restored, attr) != getattr(self.spec.training, attr):
+                    raise ValueError(
+                        f"cannot resume: checkpoint was trained with "
+                        f"{attr}={getattr(restored, attr)!r} but the spec says "
+                        f"{getattr(self.spec.training, attr)!r}"
+                    )
+        restore_into(checkpoint, model, optimizer)
+        logger.info("resumed from %s at epoch %d", self.resume, checkpoint.epoch)
+        return checkpoint.epoch
+
+    def _checkpoint_metadata(self) -> Dict[str, object]:
+        return {
+            "experiment": self.spec.name,
+            "training_config": self.spec.training.to_dict(),
+        }
+
+    def _write_artifacts(self, result: ExperimentResult, optimizer: Optimizer,
+                         epoch: int) -> None:
+        directory = self.artifact_dir
+        assert directory is not None
+        os.makedirs(directory, exist_ok=True)
+        self.spec.to_file(os.path.join(directory, ARTIFACT_SPEC))
+        save_checkpoint(os.path.join(directory, ARTIFACT_CHECKPOINT),
+                        result.model, optimizer, epoch=epoch,
+                        losses=result.training.losses,
+                        extra_metadata=self._checkpoint_metadata())
+        _write_json(os.path.join(directory, ARTIFACT_METRICS), result.metrics)
+        _write_json(os.path.join(directory, ARTIFACT_HISTORY), {
+            "losses": result.training.losses,
+            "epochs": [{
+                "epoch": stats.epoch,
+                "loss": stats.loss,
+                "forward_s": stats.forward_time,
+                "backward_s": stats.backward_time,
+                "step_s": stats.step_time,
+                "data_s": stats.data_time,
+            } for stats in result.training.epochs],
+        })
+        _write_json(os.path.join(directory, ARTIFACT_ENVIRONMENT), {
+            "experiment": self.spec.name,
+            "seed": self.spec.seed,
+            "tags": list(self.spec.tags),
+            "python": sys.version,
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "created_unix": time.time(),
+        })
+        logger.info("artifact directory written to %s", directory)
+
+
+def run_experiment(spec: Union[ExperimentSpec, str],
+                   artifact_dir: Optional[str] = None,
+                   **kwargs) -> ExperimentResult:
+    """One-call ``spec → finished run`` (spec object or JSON path)."""
+    return Experiment(spec, artifact_dir=artifact_dir, **kwargs).run()
+
+
+@dataclass
+class ExperimentArtifact:
+    """A loaded artifact directory: spec + recorded metrics + lazy model."""
+
+    path: str
+    spec: ExperimentSpec
+    metrics: Dict[str, object]
+    history: Dict[str, object]
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, ARTIFACT_CHECKPOINT)
+
+    def load_model(self) -> KGEModel:
+        """Rebuild the trained model from the artifact's checkpoint."""
+        return load_model(self.checkpoint_path)
+
+
+def load_artifact(path: str) -> ExperimentArtifact:
+    """Read an artifact directory written by :class:`Experiment`."""
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"{path} is not an artifact directory")
+    spec = ExperimentSpec.from_file(os.path.join(path, ARTIFACT_SPEC))
+    with open(os.path.join(path, ARTIFACT_METRICS), "r", encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    history_path = os.path.join(path, ARTIFACT_HISTORY)
+    history: Dict[str, object] = {}
+    if os.path.exists(history_path):
+        with open(history_path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    return ExperimentArtifact(path=os.path.abspath(path), spec=spec,
+                              metrics=metrics, history=history)

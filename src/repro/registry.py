@@ -264,6 +264,16 @@ class ModelSpec:
             out["sparse_grads"] = True
         return out
 
+    def replace(self, **kwargs) -> "ModelSpec":
+        """Copy with the given fields overridden (re-validated).
+
+        The experiment layer uses this to fill vocabulary sizes in from the
+        materialised dataset: ``spec.replace(n_entities=kg.n_entities, ...)``.
+        """
+        import dataclasses
+
+        return dataclasses.replace(self, **kwargs)
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ModelSpec":
         """Inverse of :meth:`to_dict`; raises ``ValueError`` on malformed input."""

@@ -122,6 +122,25 @@ class InferenceEngine:
         return cls(load_model(path), known_triples=known_triples,
                    cache_size=cache_size)
 
+    @classmethod
+    def from_artifact(cls, path: str, filtered: bool = False,
+                      cache_size: int = 4096) -> "InferenceEngine":
+        """Warm-load an ``sptransx run`` artifact directory.
+
+        The artifact is self-contained: the checkpoint restores the exact
+        model and, with ``filtered=True``, the stored
+        :class:`~repro.experiment.ExperimentSpec`'s data section is
+        re-materialised so the run's own triples back the filtered protocol —
+        no side-channel dataset arguments needed.
+        """
+        from repro.experiment import load_artifact
+
+        artifact = load_artifact(path)
+        known = (artifact.spec.data.materialize().known_triples()
+                 if filtered else None)
+        return cls(artifact.load_model(), known_triples=known,
+                   cache_size=cache_size)
+
     def set_known_triples(self, triples: Iterable[Tuple[int, int, int]]) -> None:
         """Install the positive set backing filtered queries (replaces any prior)."""
         tails: Dict[Tuple[int, int], List[int]] = {}

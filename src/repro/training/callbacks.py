@@ -43,26 +43,53 @@ class EarlyStopping(Callback):
         Number of non-improving epochs tolerated before stopping.
     min_delta:
         Minimum decrease that counts as an improvement.
+    restore_best:
+        Snapshot the model parameters whenever the loss improves and restore
+        that snapshot when training ends, so the model leaves the loop at its
+        best epoch rather than ``patience`` epochs past it.  The restore
+        happens on *every* train end, including runs that exhaust their epoch
+        budget without triggering the stop.
     """
 
-    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+    def __init__(self, patience: int = 10, min_delta: float = 0.0,
+                 restore_best: bool = False) -> None:
         if patience < 0:
             raise ValueError(f"patience must be non-negative, got {patience}")
         self.patience = int(patience)
         self.min_delta = float(min_delta)
+        self.restore_best = bool(restore_best)
         self.best: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        self.best_state: Optional[Dict] = None
         self.bad_epochs = 0
         self.stopped_epoch: Optional[int] = None
+
+    def on_train_begin(self, trainer) -> None:
+        self.best = None
+        self.best_epoch = None
+        self.best_state = None
+        self.bad_epochs = 0
+        self.stopped_epoch = None
 
     def on_epoch_end(self, trainer, epoch: int, stats) -> None:
         if self.best is None or stats.loss < self.best - self.min_delta:
             self.best = stats.loss
+            self.best_epoch = epoch
             self.bad_epochs = 0
+            if self.restore_best:
+                self.best_state = {name: value.copy() for name, value
+                                   in trainer.model.state_dict().items()}
             return
         self.bad_epochs += 1
         if self.bad_epochs > self.patience:
             self.stopped_epoch = epoch
             trainer.request_stop()
+
+    def on_train_end(self, trainer, result) -> None:
+        if self.restore_best and self.best_state is not None:
+            trainer.model.load_state_dict(self.best_state)
+            logger.info("restored best parameters from epoch %s (loss=%.6f)",
+                        self.best_epoch, self.best)
 
 
 class LRSchedulerCallback(Callback):

@@ -106,8 +106,16 @@ def _restore_optimizer_state(optimizer: Optimizer, model: KGEModel,
 
 
 def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] = None,
-                    epoch: int = 0, losses: Optional[List[float]] = None) -> str:
-    """Write a checkpoint to ``path`` (``.npz``); returns the path written."""
+                    epoch: int = 0, losses: Optional[List[float]] = None,
+                    extra_metadata: Optional[Dict[str, object]] = None) -> str:
+    """Write a checkpoint to ``path`` (``.npz``); returns the path written.
+
+    ``extra_metadata`` entries (must be JSON-serialisable) are merged into the
+    metadata blob — the experiment runner stores the training config and
+    experiment name there so a checkpoint can be resumed with validated
+    hyperparameters.  Reserved keys (``model_spec``, ``epoch``, ...) cannot be
+    overridden.
+    """
     arrays: Dict[str, np.ndarray] = {}
     for name, value in model.state_dict().items():
         arrays[f"model::{name}"] = value
@@ -120,7 +128,8 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
         # Unregistered (e.g. ad-hoc experimental) models still checkpoint;
         # they just cannot be auto-reconstructed by ``model_from_checkpoint``.
         spec_payload = None
-    metadata = {
+    metadata = dict(extra_metadata) if extra_metadata else {}
+    metadata.update({
         "model_spec": spec_payload,
         "model_config": model.config(),
         "epoch": int(epoch),
@@ -128,7 +137,7 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
         "optimizer": type(optimizer).__name__ if optimizer is not None else None,
         "optimizer_lr": optimizer.lr if optimizer is not None else None,
         "optimizer_step_count": optimizer.step_count if optimizer is not None else 0,
-    }
+    })
     arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -136,8 +145,26 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
     return path if path.endswith(".npz") else path + ".npz"
 
 
+#: Checkpoint filename inside an ``sptransx run`` artifact directory.
+ARTIFACT_CHECKPOINT = "checkpoint.npz"
+
+
 def load_checkpoint(path: str) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    ``path`` may also name an experiment artifact *directory* (the layout
+    ``sptransx run`` writes); the checkpoint inside it is loaded, which is
+    what lets :func:`load_model` and the serving engine warm-load an artifact
+    without knowing its internal layout.
+    """
+    if os.path.isdir(path):
+        candidate = os.path.join(path, ARTIFACT_CHECKPOINT)
+        if not os.path.exists(candidate):
+            raise FileNotFoundError(
+                f"{path} is a directory but contains no {ARTIFACT_CHECKPOINT}; "
+                "expected an `sptransx run` artifact directory or a .npz file"
+            )
+        path = candidate
     if not os.path.exists(path):
         if os.path.exists(path + ".npz"):
             path = path + ".npz"

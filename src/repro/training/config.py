@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Dict, Optional
+import difflib
+from dataclasses import dataclass, field, fields, asdict
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -81,6 +82,34 @@ class TrainingConfig:
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form for logging and EXPERIMENTS.md records."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TrainingConfig":
+        """Inverse of :meth:`to_dict` with schema validation.
+
+        ``TrainingConfig(**payload)`` raises a raw ``TypeError`` naming no
+        field when the payload carries a stale or misspelled key; this
+        constructor instead rejects unknown keys with the offending names and
+        a closest-match suggestion.  Used by experiment-spec loading and
+        checkpoint restore, where payloads come from JSON written by other
+        (possibly older or newer) versions of the library.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"training config must be a mapping, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            hints = []
+            for key in unknown:
+                close = difflib.get_close_matches(key, known, n=1)
+                hints.append(f"{key!r}" + (f" (did you mean {close[0]!r}?)" if close else ""))
+            raise ValueError(
+                f"unknown training config key(s): {', '.join(hints)}; "
+                f"valid keys: {sorted(known)}"
+            )
+        return cls(**{key: payload[key] for key in payload})
 
     def replace(self, **kwargs) -> "TrainingConfig":
         """Return a copy with the given fields overridden."""

@@ -1,0 +1,229 @@
+"""Tests for DataSpec / EvalSpec / ExperimentSpec serialisation and validation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.data import BernoulliNegativeSampler, UniformNegativeSampler
+from repro.experiment import (
+    CURRENT_SPEC_VERSION,
+    DataSpec,
+    EvalSpec,
+    ExperimentSpec,
+)
+from repro.registry import ModelSpec
+from repro.training import TrainingConfig
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    data = DataSpec(dataset="WN18RR", scale=0.001, valid_fraction=0.2,
+                    test_fraction=0.2)
+    n_entities, n_relations = data.vocab_sizes()
+    base = dict(
+        name="tiny",
+        data=data,
+        model=ModelSpec(model="transe", formulation="sparse",
+                        n_entities=n_entities, n_relations=n_relations,
+                        embedding_dim=8),
+        training=TrainingConfig(epochs=2, batch_size=64, learning_rate=0.01),
+        eval=EvalSpec(ks=(1, 10)),
+        tags=("unit",),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestDataSpec:
+    def test_round_trip(self):
+        spec = DataSpec(dataset="FB15K", scale=0.05, generator="learnable",
+                        negative_sampler="bernoulli", num_negatives=4,
+                        valid_fraction=0.1, test_fraction=0.1, seed=7)
+        assert DataSpec.from_dict(spec.to_dict()) == spec
+
+    def test_triples_file_round_trip_and_unknown_sizes(self):
+        spec = DataSpec(triples_file="kg.csv", test_fraction=0.1)
+        assert "triples_file" in spec.to_dict()
+        assert DataSpec.from_dict(spec.to_dict()) == spec
+        assert spec.vocab_sizes() is None
+
+    def test_vocab_sizes_match_materialized_dataset(self):
+        spec = DataSpec(dataset="WN18RR", scale=0.001, test_fraction=0.1)
+        kg = spec.materialize()
+        assert spec.vocab_sizes() == (kg.n_entities, kg.n_relations)
+
+    def test_materialize_is_deterministic(self):
+        spec = DataSpec(dataset="WN18RR", scale=0.001, seed=3, test_fraction=0.1)
+        a, b = spec.materialize(), spec.materialize()
+        assert (a.split.train == b.split.train).all()
+        assert (a.split.test == b.split.test).all()
+
+    def test_learnable_generator(self):
+        kg = DataSpec(dataset="WN18RR", scale=0.001, generator="learnable").materialize()
+        assert kg.n_triples > 0
+
+    def test_build_sampler_dispatch(self):
+        spec = DataSpec(dataset="WN18RR", scale=0.001)
+        kg = spec.materialize()
+        assert isinstance(spec.build_sampler(kg), UniformNegativeSampler)
+        bern = dataclasses.replace(spec, negative_sampler="bernoulli")
+        assert isinstance(bern.build_sampler(kg), BernoulliNegativeSampler)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataSpec(scale=0.0)
+        with pytest.raises(ValueError):
+            DataSpec(generator="weird")
+        with pytest.raises(ValueError):
+            DataSpec(negative_sampler="nce")
+        with pytest.raises(ValueError):
+            DataSpec(num_negatives=0)
+        with pytest.raises(ValueError):
+            DataSpec(valid_fraction=0.6, test_fraction=0.5)
+
+    def test_unknown_key_rejected_with_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'scale'"):
+            DataSpec.from_dict({"scal": 0.01})
+
+
+class TestEvalSpec:
+    def test_round_trip(self):
+        spec = EvalSpec(protocols=("link_prediction", "classification"),
+                        filtered=False, ks=(1, 5), batch_size=32, split="valid")
+        assert EvalSpec.from_dict(spec.to_dict()) == spec
+
+    def test_empty_protocols_allowed(self):
+        assert EvalSpec(protocols=()).build_evaluators() == []
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown evaluation protocol"):
+            EvalSpec(protocols=("mrr",))
+
+    def test_duplicate_protocols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            EvalSpec(protocols=("link_prediction", "link_prediction"))
+
+    def test_build_evaluators_order_matches_protocols(self):
+        spec = EvalSpec(protocols=("relation_categories", "link_prediction"))
+        built = spec.build_evaluators(seed=3)
+        assert [e.protocol for e in built] == ["relation_categories", "link_prediction"]
+
+
+class TestExperimentSpec:
+    def test_dict_round_trip(self):
+        spec = tiny_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_through_file(self, tmp_path):
+        spec = tiny_spec()
+        path = str(tmp_path / "spec.json")
+        spec.to_file(path)
+        loaded = ExperimentSpec.from_file(path)
+        assert loaded == spec
+        # the serialised form is itself stable
+        with open(path) as handle:
+            assert loaded.to_dict() == json.load(handle)
+
+    def test_model_vocab_sizes_filled_from_catalog(self):
+        payload = tiny_spec().to_dict()
+        payload["model"].pop("n_entities")
+        payload["model"].pop("n_relations")
+        assert ExperimentSpec.from_dict(payload) == tiny_spec()
+
+    def test_file_data_requires_explicit_model_sizes(self):
+        payload = tiny_spec().to_dict()
+        payload["data"] = {"triples_file": "kg.csv"}
+        payload["model"].pop("n_entities")
+        payload["model"].pop("n_relations")
+        with pytest.raises(ValueError, match="triples file"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_missing_model_section_rejected(self):
+        with pytest.raises(ValueError, match="'model' section"):
+            ExperimentSpec.from_dict({"name": "x"})
+
+    def test_unknown_top_level_key_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["trainnig"] = {}
+        with pytest.raises(ValueError, match="did you mean 'training'"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unknown_training_key_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["training"]["lr"] = 0.1
+        with pytest.raises(ValueError, match="lr"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_future_version_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["spec_version"] = CURRENT_SPEC_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_future_version_wins_over_its_unknown_fields(self):
+        """A future spec's new fields must produce the 'upgrade' error, not
+        a misleading unknown-key complaint."""
+        payload = tiny_spec().to_dict()
+        payload["spec_version"] = CURRENT_SPEC_VERSION + 1
+        payload["data"]["some_future_field"] = 1
+        with pytest.raises(ValueError, match="upgrade the library"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unknown_model_key_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["model"]["sparse_grad"] = True
+        with pytest.raises(ValueError, match="did you mean 'sparse_grads'"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_string_protocols_rejected_with_clear_error(self):
+        payload = tiny_spec().to_dict()
+        payload["eval"]["protocols"] = "link_prediction"
+        with pytest.raises(ValueError, match="must be a list"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_invalid_json_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ExperimentSpec.from_file(str(path))
+
+    def test_replace_sweep_primitive(self):
+        spec = tiny_spec()
+        swept = spec.replace(name="tiny-m2",
+                             training=spec.training.replace(margin=2.0))
+        assert swept.training.margin == 2.0
+        assert swept.name == "tiny-m2"
+        assert spec.training.margin == 0.5  # original untouched
+
+    def test_resolved_model_spec_rejects_vocab_mismatch(self):
+        spec = tiny_spec()
+        kg = spec.data.materialize()
+        bad = spec.replace(model=spec.model.replace(n_entities=kg.n_entities + 1))
+        with pytest.raises(ValueError, match="does not match"):
+            bad.resolved_model_spec(kg)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(seed=-1)
+
+
+class TestTrainingConfigFromDict:
+    def test_round_trip(self):
+        cfg = TrainingConfig(epochs=7, margin=0.25, optimizer="sgd")
+        assert TrainingConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_key_rejected_with_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'learning_rate'"):
+            TrainingConfig.from_dict({"learning_rte": 0.1})
+
+    def test_unknown_key_without_close_match(self):
+        with pytest.raises(ValueError, match="unknown training config key"):
+            TrainingConfig.from_dict({"zzz_not_a_field": 1})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            TrainingConfig.from_dict([("epochs", 3)])
+
+    def test_field_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            TrainingConfig.from_dict({"epochs": 0})

@@ -1,0 +1,118 @@
+"""Dedicated tests for training callbacks: history and early-stopping semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_synthetic_kg
+from repro.models import SpTransE
+from repro.training import EarlyStopping, HistoryCallback, Trainer, TrainingConfig
+from repro.training.callbacks import Callback
+
+
+@pytest.fixture
+def kg():
+    return generate_synthetic_kg(50, 4, 400, rng=0)
+
+
+@pytest.fixture
+def config():
+    return TrainingConfig(epochs=4, batch_size=128, learning_rate=0.01, seed=0)
+
+
+class SnapshotCallback(Callback):
+    """Record a copy of the model parameters after every epoch."""
+
+    def __init__(self):
+        self.states = []
+
+    def on_epoch_end(self, trainer, epoch, stats):
+        self.states.append({name: value.copy()
+                            for name, value in trainer.model.state_dict().items()})
+
+
+class TestHistoryCallback:
+    def test_records_one_entry_per_epoch(self, kg, config):
+        history = HistoryCallback()
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = Trainer(model, kg, config, callbacks=[history]).train()
+        assert history.losses == result.losses
+        assert len(history.times) == config.epochs
+        assert all(t >= 0 for t in history.times)
+
+    def test_truncated_on_early_stop(self, kg, config):
+        history = HistoryCallback()
+        stopper = EarlyStopping(patience=0, min_delta=1e9)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = Trainer(model, kg, config.replace(epochs=10),
+                         callbacks=[history, stopper]).train()
+        assert len(history.losses) == len(result.epochs) < 10
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_exhausted(self, kg, config):
+        stopper = EarlyStopping(patience=0, min_delta=1e9)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        result = Trainer(model, kg, config.replace(epochs=10),
+                         callbacks=[stopper]).train()
+        # epoch 0 sets the best; epoch 1 is "bad" and triggers the stop
+        assert stopper.stopped_epoch == 1
+        assert len(result.epochs) == 2
+
+    def test_does_not_stop_while_improving(self, kg, config):
+        stopper = EarlyStopping(patience=1)
+        model = SpTransE(kg.n_entities, kg.n_relations, 16, rng=0)
+        result = Trainer(model, kg, config, callbacks=[stopper]).train()
+        assert stopper.best is not None
+        assert stopper.best <= result.losses[0]
+
+    def test_restore_best_returns_model_to_best_epoch(self, kg, config):
+        # A huge min_delta means only epoch 0 ever counts as an improvement,
+        # so restore-best must rewind the two further epochs of updates.
+        stopper = EarlyStopping(patience=5, min_delta=1e9, restore_best=True)
+        snapshots = SnapshotCallback()
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        Trainer(model, kg, config.replace(epochs=3),
+                callbacks=[snapshots, stopper]).train()
+        assert stopper.best_epoch == 0
+        best = snapshots.states[0]
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, best[name])
+        # and the restored state differs from where training actually ended
+        last = snapshots.states[-1]
+        assert any(not np.array_equal(best[name], last[name]) for name in best)
+
+    def test_without_restore_best_keeps_final_parameters(self, kg, config):
+        stopper = EarlyStopping(patience=5, min_delta=1e9, restore_best=False)
+        snapshots = SnapshotCallback()
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        Trainer(model, kg, config.replace(epochs=3),
+                callbacks=[snapshots, stopper]).train()
+        assert stopper.best_state is None
+        last = snapshots.states[-1]
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, last[name])
+
+    def test_restore_best_applies_when_epoch_budget_runs_out(self, kg, config):
+        """Restore must happen even when the stop was never triggered."""
+        stopper = EarlyStopping(patience=100, min_delta=1e9, restore_best=True)
+        snapshots = SnapshotCallback()
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        Trainer(model, kg, config.replace(epochs=2),
+                callbacks=[snapshots, stopper]).train()
+        assert stopper.stopped_epoch is None
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, snapshots.states[0][name])
+
+    def test_state_resets_between_trainings(self, kg, config):
+        stopper = EarlyStopping(patience=0, min_delta=1e9, restore_best=True)
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        Trainer(model, kg, config.replace(epochs=10), callbacks=[stopper]).train()
+        first_stop = stopper.stopped_epoch
+        assert first_stop is not None
+        model2 = SpTransE(kg.n_entities, kg.n_relations, 8, rng=1)
+        Trainer(model2, kg, config.replace(epochs=10), callbacks=[stopper]).train()
+        assert stopper.stopped_epoch == first_stop  # fresh count, same dynamics
+
+    def test_negative_patience_rejected(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=-1)

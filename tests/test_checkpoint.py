@@ -94,3 +94,31 @@ class TestSaveLoad:
             return model.embeddings.weight.data.copy()
 
         np.testing.assert_allclose(resume_and_train(), resume_and_train())
+
+
+class TestArtifactAndMetadata:
+    def test_load_checkpoint_resolves_artifact_directory(self, tmp_path, kg):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        save_checkpoint(str(tmp_path / "checkpoint.npz"), model)
+        checkpoint = load_checkpoint(str(tmp_path))
+        assert "embeddings.weight" in checkpoint.model_state
+
+    def test_directory_without_checkpoint_fails_clearly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="checkpoint.npz"):
+            load_checkpoint(str(tmp_path))
+
+    def test_extra_metadata_round_trips(self, tmp_path, kg):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model,
+                        extra_metadata={"experiment": "demo",
+                                        "training_config": {"epochs": 3}})
+        metadata = load_checkpoint(path).metadata
+        assert metadata["experiment"] == "demo"
+        assert metadata["training_config"] == {"epochs": 3}
+
+    def test_extra_metadata_cannot_shadow_reserved_keys(self, tmp_path, kg):
+        model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model, epoch=7, extra_metadata={"epoch": 99})
+        assert load_checkpoint(path).epoch == 7

@@ -82,6 +82,76 @@ class TestTrainCommand:
                   "--scale", "0.003", "--epochs", "1", "--quiet"])
 
 
+class TestExportSpecCommand:
+    def test_writes_a_loadable_spec(self, capsys, tmp_path):
+        from repro.experiment import ExperimentSpec
+
+        path = str(tmp_path / "exp.json")
+        code, out = run_cli(
+            capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+            "--model", "transe", "--epochs", "2", "--batch-size", "256",
+            "--dim", "16", "--output", path,
+        )
+        assert code == 0 and path in out
+        spec = ExperimentSpec.from_file(path)
+        assert spec.model.model == "transe"
+        assert spec.training.epochs == 2
+        assert spec.name == "transe-wn18rr"
+        # the canonical round trip the acceptance criterion names
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_prints_to_stdout_without_output(self, capsys):
+        code, out = run_cli(
+            capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+            "--model", "transh", "--formulation", "dense", "--epochs", "1",
+            "--dim", "8", "--name", "custom", "--tags", "a", "b",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["name"] == "custom"
+        assert payload["tags"] == ["a", "b"]
+        assert payload["model"]["formulation"] == "dense"
+
+
+class TestRunCommand:
+    def test_run_spec_end_to_end(self, capsys, tmp_path):
+        spec_path = str(tmp_path / "exp.json")
+        run_cli(capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+                "--generator", "learnable", "--test-fraction", "0.1",
+                "--model", "transe", "--epochs", "2", "--batch-size", "256",
+                "--dim", "16", "--learning-rate", "0.01", "--output", spec_path)
+        artifacts = str(tmp_path / "artifacts")
+        code, out = run_cli(capsys, "run", spec_path, "--artifacts", artifacts,
+                            "--quiet")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["artifacts"] == artifacts
+        assert "link_prediction" in payload["metrics"]["evaluations"]
+        assert (tmp_path / "artifacts" / "spec.json").exists()
+        assert (tmp_path / "artifacts" / "metrics.json").exists()
+        assert (tmp_path / "artifacts" / "checkpoint.npz").exists()
+
+        # the artifact directory doubles as an evaluate/serve checkpoint
+        code, out = run_cli(
+            capsys, "evaluate", "--checkpoint", artifacts, "--dataset", "WN18RR",
+            "--scale", "0.003", "--generator", "learnable",
+            "--test-fraction", "0.1", "--ks", "10",
+        )
+        assert code == 0
+        assert "hits@10" in json.loads(out)
+
+    def test_run_missing_spec_fails(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_run_invalid_spec_fails(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"model": {"model": "transe"},
+                                    "trainnig": {}}))
+        with pytest.raises(SystemExit, match="trainnig"):
+            main(["run", str(path)])
+
+
 class TestEvaluateCommand:
     def test_train_then_evaluate_checkpoint(self, capsys, tmp_path):
         ckpt = str(tmp_path / "m.npz")

@@ -108,3 +108,48 @@ class TestScalingSweep:
             kg, [1, 8], config=cfg,
         )
         assert results[1].measured_compute_time < results[0].measured_compute_time
+
+    def test_each_run_starts_from_a_fresh_model(self, kg, config):
+        """The factory must be called once per worker count, so no run sees
+        another run's trained parameters."""
+        built = []
+
+        def factory():
+            model = SpTransE(kg.n_entities, kg.n_relations, 8, rng=0)
+            built.append(model)
+            return model
+
+        scaling_sweep(factory, kg, [1, 2, 4], config=config.replace(epochs=1))
+        assert len(built) == 3
+        assert len({id(m) for m in built}) == 3
+
+    def test_identical_losses_across_worker_counts(self, kg):
+        """Gradient averaging reproduces large-batch training, so every
+        worker count follows the same loss trajectory (DDP's guarantee)."""
+        cfg = TrainingConfig(epochs=2, batch_size=480, learning_rate=0.01,
+                             seed=0, shuffle=False)
+        results = scaling_sweep(
+            lambda: SpTransE(kg.n_entities, kg.n_relations, 8, rng=0),
+            kg, [1, 4], config=cfg,
+        )
+        np.testing.assert_allclose(results[0].losses, results[1].losses, rtol=1e-4)
+
+    def test_communication_estimate_grows_with_workers(self, kg, config):
+        comm = CommunicationModel(latency_s=1e-3)
+        results = scaling_sweep(
+            lambda: SpTransE(kg.n_entities, kg.n_relations, 8, rng=0),
+            kg, [2, 16], config=config.replace(epochs=1), comm_model=comm,
+        )
+        assert (results[1].estimated_communication_time
+                > results[0].estimated_communication_time)
+
+    def test_result_to_dict_round_trips_through_json(self, kg, config):
+        import json
+
+        [result] = scaling_sweep(
+            lambda: SpTransE(kg.n_entities, kg.n_relations, 8, rng=0),
+            kg, [2], config=config.replace(epochs=1),
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["n_workers"] == 2.0
+        assert payload["total_time_s"] >= payload["communication_time_s"]
