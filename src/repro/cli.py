@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: runs/<experiment name>)")
     run.add_argument("--resume", default=None,
                      help="checkpoint file or artifact directory to resume from")
+    run.add_argument("--storage", default=None, choices=["memory", "sqlite"],
+                     help="override the spec's data.storage: 'sqlite' streams "
+                          "shuffled batches from an on-disk store (bounded RSS)")
+    run.add_argument("--storage-path", default=None,
+                     help="override the SQLite database file backing --storage sqlite")
+    run.add_argument("--workers", type=int, default=None,
+                     help="override training.num_workers: data-parallel "
+                          "processes exchanging row-sparse gradients")
     run.add_argument("--quiet", action="store_true")
 
     export = sub.add_parser(
@@ -155,6 +163,14 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--test-fraction", type=float, default=0.05)
     parser.add_argument("--valid-fraction", type=float, default=0.0)
     parser.add_argument("--data-seed", type=int, default=0)
+    parser.add_argument("--storage", default="memory", choices=["memory", "sqlite"],
+                        help="train from in-memory arrays or stream shuffled "
+                             "batches out of an on-disk SQLite store "
+                             "(out-of-core graphs; bounded peak RSS)")
+    parser.add_argument("--storage-path", default=None,
+                        help="SQLite database file for --storage sqlite "
+                             "(default: data.sqlite in the artifact directory, "
+                             "or a temporary file)")
 
 
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -185,6 +201,11 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="row-sparse gradient pipeline: backward and optimizer "
                              "cost scale with the batch instead of the vocabulary "
                              "(exact for sgd/adagrad, lazy SparseAdam-style for adam)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="data-parallel worker processes: each global batch "
+                             "is sharded across N replicas that exchange "
+                             "row-sparse gradients and stay in lockstep with "
+                             "the single-worker trajectory")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -203,6 +224,8 @@ def _data_spec_from_args(args: argparse.Namespace) -> DataSpec:
             seed=args.data_seed,
             negative_sampler=getattr(args, "negative_sampler", "uniform"),
             num_negatives=getattr(args, "num_negatives", 1),
+            storage=getattr(args, "storage", "memory"),
+            storage_path=getattr(args, "storage_path", None),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -241,6 +264,7 @@ def _experiment_spec_from_args(args: argparse.Namespace,
             optimizer=args.optimizer, seed=args.seed,
             log_every=0 if getattr(args, "quiet", True) else max(1, args.epochs // 10),
             sparse_grads=args.sparse_grads,
+            num_workers=getattr(args, "workers", 1),
         )
         spec = ExperimentSpec(
             name=name if name is not None else f"{args.model}-{args.dataset.lower()}",
@@ -256,6 +280,23 @@ def _experiment_spec_from_args(args: argparse.Namespace,
         raise SystemExit(str(exc)) from exc
 
 
+def _apply_run_overrides(spec: ExperimentSpec,
+                         args: argparse.Namespace) -> ExperimentSpec:
+    """Apply ``run``'s --storage/--storage-path/--workers flags over the spec."""
+    import dataclasses
+
+    data_overrides = {}
+    if args.storage is not None:
+        data_overrides["storage"] = args.storage
+    if args.storage_path is not None:
+        data_overrides["storage_path"] = args.storage_path
+    if data_overrides:
+        spec = spec.replace(data=dataclasses.replace(spec.data, **data_overrides))
+    if args.workers is not None:
+        spec = spec.replace(training=spec.training.replace(num_workers=args.workers))
+    return spec
+
+
 # --------------------------------------------------------------------- #
 # Commands
 # --------------------------------------------------------------------- #
@@ -266,6 +307,10 @@ def _command_run(args: argparse.Namespace) -> int:
         spec = ExperimentSpec.from_file(args.spec)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"cannot load experiment spec {args.spec}: {exc}") from exc
+    try:
+        spec = _apply_run_overrides(spec, args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     artifact_dir = args.artifacts if args.artifacts else f"runs/{spec.name}"
     try:
         result = Experiment(spec, artifact_dir=artifact_dir,
@@ -274,7 +319,7 @@ def _command_run(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
     print(json.dumps({"experiment": spec.name,
                       "artifacts": artifact_dir,
-                      "dataset": result.dataset.name,
+                      "dataset": result.dataset_name,
                       "model": result.model.config(),
                       "metrics": result.metrics},
                      indent=2, default=float))
@@ -305,7 +350,7 @@ def _command_train(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
 
     summary = {
-        "dataset": result.dataset.name,
+        "dataset": result.dataset_name,
         "model": result.model.config(),
         "final_loss": result.training.final_loss,
         "breakdown_s": result.training.breakdown(),

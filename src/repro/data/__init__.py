@@ -25,7 +25,11 @@ from repro.data.negative_sampling import (
     make_negative_sampler,
 )
 from repro.data.batching import TripletBatch, BatchIterator
-from repro.data.streaming import StreamingBatchIterator
+from repro.data.streaming import (
+    InMemoryTripleStore,
+    StreamingBatchIterator,
+    TripleStore,
+)
 
 __all__ = [
     "Vocabulary",
@@ -50,4 +54,6 @@ __all__ = [
     "TripletBatch",
     "BatchIterator",
     "StreamingBatchIterator",
+    "InMemoryTripleStore",
+    "TripleStore",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,10 @@ CREATE TABLE IF NOT EXISTS triples (
     split TEXT NOT NULL DEFAULT 'train'
 );
 CREATE INDEX IF NOT EXISTS idx_triples_split ON triples(split);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -85,10 +89,49 @@ class SQLiteKGStore:
             ):
                 if triples.size == 0:
                     continue
-                self._conn.executemany(
-                    "INSERT INTO triples (head, relation, tail, split) VALUES (?, ?, ?, ?)",
-                    [(int(h), int(r), int(t), split_name) for h, r, t in triples],
-                )
+                self._insert_triples(triples, split_name)
+
+    def _insert_triples(self, triples: np.ndarray, split: str,
+                        chunk: int = 65536) -> None:
+        """Insert an ``(M, 3)`` array in bounded chunks (no full python list)."""
+        for start in range(0, triples.shape[0], chunk):
+            block = triples[start:start + chunk]
+            self._conn.executemany(
+                "INSERT INTO triples (head, relation, tail, split) VALUES (?, ?, ?, ?)",
+                ((int(h), int(r), int(t), split) for h, r, t in block),
+            )
+
+    def ingest_triple_batches(self, batches: Iterable[np.ndarray],
+                              split: str = "train") -> int:
+        """Stream ``(M, 3)`` integer arrays into the store; returns rows written.
+
+        The out-of-core ingestion path: a generator of triple blocks (e.g. a
+        chunked synthetic generator or a file reader) is committed batch by
+        batch so peak memory is one block, never the whole graph.  Entity and
+        relation tables are not touched — register vocabularies separately
+        with :meth:`register_vocab_sizes` or :meth:`ingest_dataset`.
+        """
+        total = 0
+        with self._conn:
+            for block in batches:
+                block = np.asarray(block)
+                if block.size == 0:
+                    continue
+                self._insert_triples(block.reshape(-1, 3), split)
+                total += int(block.reshape(-1, 3).shape[0])
+        return total
+
+    def register_vocab_sizes(self, n_entities: int, n_relations: int) -> None:
+        """Create index-label rows for integer-only graphs (no label source)."""
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO entities (id, label) VALUES (?, ?)",
+                ((i, f"entity_{i}") for i in range(int(n_entities))),
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO relations (id, label) VALUES (?, ?)",
+                ((i, f"relation_{i}") for i in range(int(n_relations))),
+            )
 
     def ingest_labeled_triples(self, labeled: Iterable[Tuple[str, str, str]],
                                split: str = "train") -> None:
@@ -154,6 +197,67 @@ class SQLiteKGStore:
             if not rows:
                 break
             yield np.asarray(rows, dtype=np.int64)
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Store a small key/value annotation (dataset fingerprints etc.)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(key), str(value)),
+            )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read an annotation written by :meth:`set_meta` (``None`` if absent)."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (str(key),)
+        ).fetchone()
+        return str(row[0]) if row is not None else None
+
+    def block_bounds(self, block_size: int, split: str = "train") -> List[Tuple[int, int]]:
+        """Split a split's rows into contiguous rowid ranges of ``block_size``.
+
+        One sequential index walk computes ``[(lo, hi), ...]`` inclusive rowid
+        bounds covering every row of the split, each holding ``block_size``
+        rows (the final range may be smaller).  Random-access epoch shuffles
+        then fetch blocks in any order with cheap ``rowid BETWEEN`` scans
+        instead of O(offset) ``LIMIT/OFFSET`` walks — memory stays
+        O(n_blocks), not O(n_triples).
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        bounds: List[Tuple[int, int]] = []
+        cursor = self._conn.execute(
+            "SELECT rowid FROM triples WHERE split = ? ORDER BY rowid", (split,)
+        )
+        lo: Optional[int] = None
+        count = 0
+        last = -1
+        while True:
+            rows = cursor.fetchmany(65536)
+            if not rows:
+                break
+            for (rowid,) in rows:
+                if lo is None:
+                    lo = rowid
+                count += 1
+                last = rowid
+                if count == block_size:
+                    bounds.append((lo, last))
+                    lo, count = None, 0
+        if lo is not None:
+            bounds.append((lo, last))
+        return bounds
+
+    def fetch_block(self, lo: int, hi: int, split: str = "train") -> np.ndarray:
+        """All ``(head, relation, tail)`` rows with ``lo <= rowid <= hi``."""
+        rows = self._conn.execute(
+            "SELECT head, relation, tail FROM triples "
+            "WHERE split = ? AND rowid BETWEEN ? AND ? ORDER BY rowid",
+            (split, int(lo), int(hi)),
+        ).fetchall()
+        return (np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+                if rows else np.empty((0, 3), dtype=np.int64))
 
     def to_dataset(self, name: Optional[str] = None) -> KGDataset:
         """Materialise the store back into an in-memory :class:`KGDataset`."""

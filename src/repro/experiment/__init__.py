@@ -24,6 +24,7 @@ package; ``sptransx train``/``evaluate`` are thin shims over it.
 from repro.experiment.spec import (
     CURRENT_SPEC_VERSION,
     DATA_GENERATORS,
+    DATA_STORAGES,
     DataSpec,
     EvalSpec,
     ExperimentSpec,
@@ -39,6 +40,7 @@ from repro.experiment.runner import (
 __all__ = [
     "CURRENT_SPEC_VERSION",
     "DATA_GENERATORS",
+    "DATA_STORAGES",
     "DataSpec",
     "EvalSpec",
     "ExperimentSpec",

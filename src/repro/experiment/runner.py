@@ -27,13 +27,18 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.data.dataset import KGDataset, TripleSplit
+from repro.data.negative_sampling import UniformNegativeSampler
+from repro.data.sqlite_store import SQLiteKGStore
+from repro.data.streaming import StreamingBatchIterator
+from repro.data.batching import BatchIterator
 from repro.evaluation.evaluators import EvalReport
 from repro.models.base import KGEModel
 from repro.optim.optimizer import Optimizer
@@ -45,11 +50,13 @@ from repro.training.checkpoint import (
     load_model,
     restore_into,
     save_checkpoint,
+    save_weight_files,
 )
 from repro.training.config import TrainingConfig
+from repro.training.multiprocess import MultiprocessTrainer
 from repro.training.trainer import Trainer, TrainingResult, build_optimizer
 from repro.utils.logging import get_logger
-from repro.utils.seeding import seed_everything
+from repro.utils.seeding import new_rng, seed_everything
 
 from repro.experiment.spec import ExperimentSpec
 
@@ -72,14 +79,20 @@ def _write_json(path: str, payload: Dict[str, object]) -> str:
 
 @dataclass
 class ExperimentResult:
-    """Everything a finished run produced, in memory."""
+    """Everything a finished run produced, in memory.
+
+    ``dataset`` is ``None`` for out-of-core runs (``storage="sqlite"`` with
+    no evaluation protocols): the runner releases the materialised triples
+    before training so peak RSS stays bounded; ``dataset_name`` survives.
+    """
 
     spec: ExperimentSpec
-    dataset: KGDataset
+    dataset: Optional[KGDataset]
     model: KGEModel
     training: TrainingResult
     reports: List[EvalReport] = field(default_factory=list)
     artifact_dir: Optional[str] = None
+    dataset_name: str = ""
 
     @property
     def metrics(self) -> Dict[str, object]:
@@ -158,6 +171,7 @@ class Experiment:
         spec = self.spec
         seed_everything(spec.seed)
         dataset = self._dataset if self._dataset is not None else spec.data.materialize()
+        dataset_name = dataset.name
         model_spec = spec.resolved_model_spec(dataset)
 
         evaluators = spec.eval.build_evaluators(seed=spec.seed)
@@ -168,22 +182,59 @@ class Experiment:
         optimizer = build_optimizer(spec.training.optimizer, model,
                                     spec.training.learning_rate)
         start_epoch = self._maybe_resume(model, optimizer)
+        remaining = max(spec.training.epochs - start_epoch, 0)
 
-        history = HistoryCallback()
-        trainer = Trainer(model, self._training_dataset(dataset), spec.training,
-                          optimizer=optimizer,
-                          sampler=spec.data.build_sampler(dataset, rng=spec.seed),
-                          callbacks=[history])
-        logger.info("experiment %r: training %s on %s for %d epoch(s)",
-                    spec.name, type(model).__name__, dataset.name,
-                    max(spec.training.epochs - start_epoch, 0))
-        training = trainer.train(epochs=max(spec.training.epochs - start_epoch, 0))
+        db_path = self._maybe_spool_to_sqlite(dataset)
+        # A store spooled to a temporary file (no artifact directory, no
+        # explicit storage_path) is deleted once training ends.
+        ephemeral_db = (db_path is not None and self.artifact_dir is None
+                        and self.spec.data.storage_path is None)
+        batch_factory = self._batch_factory(dataset, db_path)
+        if (spec.data.storage == "sqlite" and not evaluators
+                and spec.data.negative_sampler == "uniform"
+                and self._dataset is None):
+            # Out-of-core mode: the triples now live (only) in SQLite and the
+            # uniform sampler needs just the entity count, so the materialised
+            # arrays can be released before training — this is what keeps
+            # peak RSS bounded for graphs larger than RAM.
+            dataset = None
+
+        logger.info("experiment %r: training %s on %s for %d epoch(s) "
+                    "(storage=%s, workers=%d)",
+                    spec.name, type(model).__name__, dataset_name, remaining,
+                    spec.data.storage, spec.training.num_workers)
+        try:
+            if spec.training.num_workers > 1:
+                if start_epoch:
+                    raise ValueError(
+                        "cannot resume a checkpoint with num_workers > 1: worker "
+                        "replicas start with fresh optimiser state; resume with "
+                        "num_workers=1 (or finish the run single-worker first)"
+                    )
+                trainer = MultiprocessTrainer(model, batch_factory,
+                                              spec.training.num_workers,
+                                              spec.training)
+                training = trainer.train(epochs=remaining)
+                # Checkpoint rank 0's *stepped* optimiser, not the unused one
+                # built above — resuming from this artifact (single-worker)
+                # must continue with real Adam/Adagrad state.
+                optimizer = trainer.optimizer
+            else:
+                trainer = Trainer(model, config=spec.training, optimizer=optimizer,
+                                  batches=batch_factory(),
+                                  callbacks=[HistoryCallback()])
+                trainer.skip_epochs(start_epoch)
+                training = trainer.train(epochs=remaining, start_epoch=start_epoch)
+        finally:
+            if ephemeral_db and os.path.exists(db_path):
+                os.unlink(db_path)
 
         reports = [evaluator.run(model, dataset) for evaluator in evaluators]
 
         result = ExperimentResult(spec=spec, dataset=dataset, model=model,
                                   training=training, reports=reports,
-                                  artifact_dir=self.artifact_dir)
+                                  artifact_dir=self.artifact_dir,
+                                  dataset_name=dataset_name)
         epoch = start_epoch + len(training.epochs)
         if self.artifact_dir is not None:
             self._write_artifacts(result, optimizer, epoch)
@@ -192,6 +243,108 @@ class Experiment:
                             losses=training.losses,
                             extra_metadata=self._checkpoint_metadata())
         return result
+
+    # ------------------------------------------------------------------ #
+    def _sqlite_path(self) -> str:
+        """Database file backing ``storage="sqlite"`` for this run."""
+        if self.spec.data.storage_path is not None:
+            return self.spec.data.storage_path
+        if self.artifact_dir is not None:
+            os.makedirs(self.artifact_dir, exist_ok=True)
+            return os.path.join(self.artifact_dir, "data.sqlite")
+        fd, path = tempfile.mkstemp(suffix=".sptransx.sqlite")
+        os.close(fd)
+        os.unlink(path)
+        return path
+
+    @staticmethod
+    def _dataset_fingerprint(dataset: KGDataset) -> str:
+        """Content hash identifying a training split (name/sizes/sampled rows).
+
+        Stored in the store's meta table at spool time and compared on reuse,
+        so a stale database that merely *counts* the same as the requested
+        dataset cannot silently feed the wrong triples into training.
+        """
+        import hashlib
+
+        train = dataset.split.train
+        digest = hashlib.sha256()
+        digest.update(f"{dataset.name}|{dataset.n_entities}|"
+                      f"{dataset.n_relations}|{train.shape[0]}|".encode())
+        if train.shape[0]:
+            sample = np.linspace(0, train.shape[0] - 1,
+                                 num=min(train.shape[0], 4096), dtype=np.int64)
+            digest.update(np.ascontiguousarray(train[sample]).tobytes())
+        return digest.hexdigest()
+
+    def _maybe_spool_to_sqlite(self, dataset: KGDataset) -> Optional[str]:
+        """Ingest the dataset into the run's SQLite store (idempotent)."""
+        if self.spec.data.storage != "sqlite":
+            return None
+        path = self._sqlite_path()
+        fingerprint = self._dataset_fingerprint(dataset)
+        with SQLiteKGStore(path) as store:
+            if store.n_triples("train") == 0:
+                logger.info("spooling %d training triples into %s",
+                            dataset.split.train.shape[0], path)
+                store.ingest_dataset(dataset)
+                store.set_meta("dataset_fingerprint", fingerprint)
+            elif store.get_meta("dataset_fingerprint") != fingerprint:
+                raise ValueError(
+                    f"SQLite store {path} was spooled from a different dataset "
+                    f"than this spec materialises; delete the stale store or "
+                    "point storage_path elsewhere"
+                )
+        return path
+
+    def _batch_factory(self, dataset: KGDataset,
+                       db_path: Optional[str]) -> Callable[[], object]:
+        """A zero-arg builder of the run's deterministic batch pipeline.
+
+        Every invocation yields an identical batch/negative stream, which is
+        the lockstep contract the multiprocess trainer relies on; the
+        single-worker path calls it once.  For SQLite storage each call opens
+        its own connection, so no handle ever crosses a process fork.
+        """
+        spec = self.spec
+        config = spec.training
+        if spec.data.storage == "sqlite":
+            assert db_path is not None
+            n_entities = dataset.n_entities
+            shuffle_seed = config.seed if config.seed is not None else 0
+            sampler_seed = spec.seed
+            num_negatives = spec.data.num_negatives
+            if spec.data.negative_sampler == "uniform":
+                def make_sampler():
+                    return UniformNegativeSampler(max(n_entities, 2),
+                                                  rng=new_rng(sampler_seed))
+            else:
+                data_spec = spec.data
+
+                def make_sampler():
+                    return data_spec.build_sampler(dataset, rng=sampler_seed)
+
+            def factory():
+                return StreamingBatchIterator(
+                    SQLiteKGStore(db_path), batch_size=config.batch_size,
+                    sampler=make_sampler(), shuffle=config.shuffle,
+                    seed=shuffle_seed, num_negatives=num_negatives,
+                )
+            return factory
+
+        training_dataset = self._training_dataset(dataset)
+        data_spec = spec.data
+        sampler_seed = spec.seed
+
+        def factory():
+            rng = new_rng(config.seed)
+            return BatchIterator(
+                training_dataset, batch_size=config.batch_size,
+                sampler=data_spec.build_sampler(dataset, rng=sampler_seed),
+                shuffle=config.shuffle,
+                regenerate_negatives=config.regenerate_negatives, rng=rng,
+            )
+        return factory
 
     # ------------------------------------------------------------------ #
     def _training_dataset(self, dataset: KGDataset) -> KGDataset:
@@ -248,6 +401,9 @@ class Experiment:
                         result.model, optimizer, epoch=epoch,
                         losses=result.training.losses,
                         extra_metadata=self._checkpoint_metadata())
+        # Mirror the parameters as numpy.lib.format files so the artifact can
+        # be served memory-mapped (npz members cannot be mapped).
+        save_weight_files(directory, result.model)
         _write_json(os.path.join(directory, ARTIFACT_METRICS), result.metrics)
         _write_json(os.path.join(directory, ARTIFACT_HISTORY), {
             "losses": result.training.losses,
@@ -292,9 +448,13 @@ class ExperimentArtifact:
     def checkpoint_path(self) -> str:
         return os.path.join(self.path, ARTIFACT_CHECKPOINT)
 
-    def load_model(self) -> KGEModel:
-        """Rebuild the trained model from the artifact's checkpoint."""
-        return load_model(self.checkpoint_path)
+    def load_model(self, mmap: bool = False) -> KGEModel:
+        """Rebuild the trained model from the artifact's checkpoint.
+
+        ``mmap=True`` attaches the parameters to the artifact's on-disk
+        weight files instead of densifying them (read-only serving path).
+        """
+        return load_model(self.checkpoint_path, mmap=mmap)
 
 
 def load_artifact(path: str) -> ExperimentArtifact:

@@ -51,6 +51,9 @@ CURRENT_SPEC_VERSION = 1
 #: Synthetic generators a :class:`DataSpec` can name.
 DATA_GENERATORS = ("zipf", "learnable")
 
+#: Storage backends a :class:`DataSpec` can train from.
+DATA_STORAGES = ("memory", "sqlite")
+
 
 def _reject_unknown_keys(payload: Mapping[str, object], known, section: str) -> None:
     """Schema guard shared by every spec section: fail with suggestions."""
@@ -101,6 +104,17 @@ class DataSpec:
     num_negatives:
         Negatives contrasted against each positive per epoch (``K > 1`` tiles
         each positive ``K`` times, each copy drawing its own corruption).
+    storage:
+        ``"memory"`` (default) trains from in-memory arrays with the paper's
+        pre-generated-negative protocol; ``"sqlite"`` spools the training
+        split into an on-disk SQLite store and streams shuffled batches out
+        of it (:class:`~repro.data.StreamingBatchIterator`), bounding peak
+        RSS for graphs larger than RAM.  Negatives are then drawn per batch
+        on the fly.
+    storage_path:
+        Database file backing ``storage="sqlite"``; defaults to
+        ``data.sqlite`` inside the artifact directory (or a temporary file
+        for in-memory-only runs).
     """
 
     dataset: str = "FB15K"
@@ -112,6 +126,8 @@ class DataSpec:
     seed: int = 0
     negative_sampler: str = "uniform"
     num_negatives: int = 1
+    storage: str = "memory"
+    storage_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.triples_file is None and not (0 < self.scale <= 1):
@@ -119,6 +135,10 @@ class DataSpec:
         if self.generator not in DATA_GENERATORS:
             raise ValueError(
                 f"generator must be one of {DATA_GENERATORS}, got {self.generator!r}"
+            )
+        if self.storage not in DATA_STORAGES:
+            raise ValueError(
+                f"storage must be one of {DATA_STORAGES}, got {self.storage!r}"
             )
         if self.negative_sampler not in SAMPLER_STRATEGIES:
             raise ValueError(
@@ -184,16 +204,20 @@ class DataSpec:
             "seed": self.seed,
             "negative_sampler": self.negative_sampler,
             "num_negatives": self.num_negatives,
+            "storage": self.storage,
         }
         if self.triples_file is not None:
             out["triples_file"] = self.triples_file
+        if self.storage_path is not None:
+            out["storage_path"] = self.storage_path
         return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "DataSpec":
         payload = _require_mapping(payload, "data")
         known = ("dataset", "scale", "triples_file", "generator", "valid_fraction",
-                 "test_fraction", "seed", "negative_sampler", "num_negatives")
+                 "test_fraction", "seed", "negative_sampler", "num_negatives",
+                 "storage", "storage_path")
         _reject_unknown_keys(payload, known, "data")
         return cls(
             dataset=str(payload.get("dataset", "FB15K")),
@@ -206,6 +230,9 @@ class DataSpec:
             seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
             negative_sampler=str(payload.get("negative_sampler", "uniform")),
             num_negatives=int(payload.get("num_negatives", 1)),  # type: ignore[arg-type]
+            storage=str(payload.get("storage", "memory")),
+            storage_path=(str(payload["storage_path"])
+                          if payload.get("storage_path") is not None else None),
         )
 
 

@@ -7,13 +7,42 @@ in place on any tensor-like object exposing ``.data``.
 
 from __future__ import annotations
 
+import contextlib
 import math
-from typing import Optional
+import threading
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.utils.seeding import new_rng
+
+
+class _InitMode(threading.local):
+    def __init__(self) -> None:
+        self.skip = False
+
+
+_init_mode = _InitMode()
+
+
+@contextlib.contextmanager
+def skip_init() -> Iterator[None]:
+    """Suspend parameter initialisation inside the block.
+
+    Every initializer below becomes a no-op, leaving parameters as the
+    untouched ``np.empty`` allocations their modules created — allocated
+    virtual memory whose pages are never written, so they never become
+    resident.  This is how a model can be *constructed* for memory-mapped
+    serving without first materialising (and filling) every dense table that
+    the caller is about to replace with on-disk arrays.
+    """
+    previous = _init_mode.skip
+    _init_mode.skip = True
+    try:
+        yield
+    finally:
+        _init_mode.skip = previous
 
 
 def _fan_in_out(shape) -> tuple[int, int]:
@@ -29,6 +58,8 @@ def _fan_in_out(shape) -> tuple[int, int]:
 def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0,
              rng: Optional[np.random.Generator] = None) -> Tensor:
     """Fill with samples from ``U(low, high)``."""
+    if _init_mode.skip:
+        return tensor
     rng = new_rng(rng)
     tensor.data[...] = rng.uniform(low, high, size=tensor.shape)
     return tensor
@@ -37,6 +68,8 @@ def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0,
 def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0,
             rng: Optional[np.random.Generator] = None) -> Tensor:
     """Fill with samples from ``N(mean, std)``."""
+    if _init_mode.skip:
+        return tensor
     rng = new_rng(rng)
     tensor.data[...] = rng.normal(mean, std, size=tensor.shape)
     return tensor
@@ -60,6 +93,8 @@ def xavier_normal_(tensor: Tensor, gain: float = 1.0,
 
 def zeros_(tensor: Tensor) -> Tensor:
     """Fill with zeros."""
+    if _init_mode.skip:
+        return tensor
     tensor.data[...] = 0.0
     return tensor
 
@@ -72,6 +107,8 @@ def identity_stack_(tensor: Tensor) -> Tensor:
     """
     if tensor.ndim != 3:
         raise ValueError(f"expected a (R, k, d) parameter, got shape {tensor.shape}")
+    if _init_mode.skip:
+        return tensor
     _, k, d = tensor.shape
     eye = np.eye(k, d)
     tensor.data[...] = eye[None, :, :]

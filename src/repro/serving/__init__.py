@@ -22,7 +22,7 @@ The serving stack is layered so each piece is usable on its own:
 
 from repro.serving.cache import LRUCache
 from repro.serving.engine import InferenceEngine, TopKQuery, TopKResult
-from repro.serving.request_batcher import RequestBatcher
+from repro.serving.request_batcher import EngineClosed, RequestBatcher
 from repro.serving.server import InferenceServer, ServingError, make_server
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "InferenceEngine",
     "TopKQuery",
     "TopKResult",
+    "EngineClosed",
     "RequestBatcher",
     "InferenceServer",
     "ServingError",

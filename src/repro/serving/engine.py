@@ -124,7 +124,7 @@ class InferenceEngine:
 
     @classmethod
     def from_artifact(cls, path: str, filtered: bool = False,
-                      cache_size: int = 4096) -> "InferenceEngine":
+                      cache_size: int = 4096, mmap="auto") -> "InferenceEngine":
         """Warm-load an ``sptransx run`` artifact directory.
 
         The artifact is self-contained: the checkpoint restores the exact
@@ -132,13 +132,25 @@ class InferenceEngine:
         :class:`~repro.experiment.ExperimentSpec`'s data section is
         re-materialised so the run's own triples back the filtered protocol —
         no side-channel dataset arguments needed.
+
+        ``mmap`` controls how the embedding tables are loaded: ``"auto"``
+        (default) serves them memory-mapped straight from the artifact's
+        ``weights/`` directory when present — the tables are paged in on
+        demand and never densified into RAM — and falls back to the regular
+        in-memory load otherwise; ``True`` requires the weight files;
+        ``False`` always densifies.
         """
+        import os
+
         from repro.experiment import load_artifact
+        from repro.training.checkpoint import ARTIFACT_WEIGHTS
 
         artifact = load_artifact(path)
         known = (artifact.spec.data.materialize().known_triples()
                  if filtered else None)
-        return cls(artifact.load_model(), known_triples=known,
+        if mmap == "auto":
+            mmap = os.path.isdir(os.path.join(path, ARTIFACT_WEIGHTS))
+        return cls(artifact.load_model(mmap=bool(mmap)), known_triples=known,
                    cache_size=cache_size)
 
     def set_known_triples(self, triples: Iterable[Tuple[int, int, int]]) -> None:

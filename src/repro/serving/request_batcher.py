@@ -28,6 +28,16 @@ from typing import Dict, List, Optional
 from repro.serving.engine import InferenceEngine, TopKQuery, TopKResult
 
 
+class EngineClosed(RuntimeError):
+    """Raised by requests that cannot complete because the batcher is closed.
+
+    Submissions after :meth:`RequestBatcher.close` fail with this immediately;
+    requests already queued when the worker dies (engine crash, interpreter
+    teardown) receive it instead of hanging on a future no thread will ever
+    fulfil.
+    """
+
+
 @dataclass
 class _PendingRequest:
     """One caller-visible request waiting for its batch to execute."""
@@ -88,14 +98,43 @@ class RequestBatcher:
         return self._submit("head", TopKQuery(int(tail), int(relation),
                                               int(k), bool(filtered)))
 
-    def close(self) -> None:
-        """Stop the worker after the queue drains; further submits fail."""
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop the worker; further submits raise :class:`EngineClosed`.
+
+        Every request enqueued before the close is still executed (FIFO
+        ordering puts them ahead of the shutdown sentinel); their callers get
+        real results.  Only if the worker fails to drain within ``timeout``
+        seconds — an engine call wedged beyond any reasonable batch — are the
+        still-pending requests failed with :class:`EngineClosed` so no caller
+        is left blocked forever.
+        """
         with self._submit_lock:
-            if self._closed:
-                return
+            already_closed = self._closed
             self._closed = True
+            if not already_closed:
+                self._queue.put(None)
+        self._worker.join(timeout=timeout)
+        if not self._worker.is_alive():
+            return
+        # The worker is wedged: fail whatever is still queued rather than
+        # leaving callers blocked on futures nobody will complete.  Requests
+        # already handed to the engine remain the worker's to finish.
+        drained_sentinel = False
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                drained_sentinel = True
+                continue
+            item.error = EngineClosed(
+                "batcher closed before this request could execute")
+            item.done.set()
+        if drained_sentinel:
+            # Put the shutdown sentinel back so the worker still terminates
+            # if it ever un-wedges.
             self._queue.put(None)
-        self._worker.join(timeout=5.0)
 
     def __enter__(self) -> "RequestBatcher":
         return self
@@ -120,7 +159,11 @@ class RequestBatcher:
         pending = _PendingRequest(direction=direction, query=query)
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise EngineClosed("batcher is closed")
+            if not self._worker.is_alive():
+                # The worker died outside close() (interpreter teardown, a
+                # BaseException that escaped _run): enqueueing would hang.
+                raise EngineClosed("batcher worker is no longer running")
             # FIFO ordering now guarantees the worker reaches this request
             # before any shutdown sentinel enqueued by a later close().
             self._queue.put(pending)
@@ -174,8 +217,25 @@ class RequestBatcher:
             self.largest_batch = max(self.largest_batch, len(batch))
 
     def _run(self) -> None:
+        try:
+            while True:
+                item = self._queue.get()
+                if item is None:
+                    return
+                self._execute(self._collect_batch(item))
+        finally:
+            # Whatever takes this thread down — clean shutdown sentinel or an
+            # escaped BaseException — no queued request may be left with an
+            # unfulfilled future.
+            self._fail_pending(EngineClosed(
+                "batcher shut down before this request could execute"))
+
+    def _fail_pending(self, error: BaseException) -> None:
         while True:
-            item = self._queue.get()
-            if item is None:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
                 return
-            self._execute(self._collect_batch(item))
+            if item is not None:
+                item.error = error
+                item.done.set()

@@ -3,8 +3,10 @@
 :class:`Trainer` runs the paper's training protocol (margin-ranking loss over
 pre-generated negatives, per-phase wall-clock timing of forward / backward /
 optimiser step) for any :class:`~repro.models.base.KGEModel`;
-:class:`DataParallelTrainer` adds the simulated multi-worker data-parallel
-mode used to reproduce the Appendix-F scaling study.
+:class:`DataParallelTrainer` simulates the Appendix-F multi-worker scaling
+study with an α–β communication model, and :class:`MultiprocessTrainer`
+executes it for real — worker processes exchanging row-sparse gradients in
+lockstep with the single-worker trajectory.
 """
 
 from repro.training.config import TrainingConfig
@@ -17,6 +19,7 @@ from repro.training.callbacks import (
     EvaluationCallback,
 )
 from repro.training.distributed import DataParallelTrainer, CommunicationModel, ScalingResult
+from repro.training.multiprocess import MultiprocessTrainer, MultiprocessResult
 from repro.training.checkpoint import (
     Checkpoint,
     save_checkpoint,
@@ -45,4 +48,6 @@ __all__ = [
     "DataParallelTrainer",
     "CommunicationModel",
     "ScalingResult",
+    "MultiprocessTrainer",
+    "MultiprocessResult",
 ]

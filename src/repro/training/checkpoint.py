@@ -148,6 +148,56 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
 #: Checkpoint filename inside an ``sptransx run`` artifact directory.
 ARTIFACT_CHECKPOINT = "checkpoint.npz"
 
+#: Directory of per-parameter ``.npy`` weight files inside an artifact —
+#: plain ``numpy.lib.format`` arrays, so they can be served memory-mapped
+#: (``np.load(..., mmap_mode="r")``) without densifying into RAM.
+ARTIFACT_WEIGHTS = "weights"
+
+
+def save_weight_files(directory: str, model: KGEModel) -> Dict[str, str]:
+    """Write every parameter as ``<directory>/weights/<name>.npy``.
+
+    The files duplicate the arrays already inside ``checkpoint.npz`` in a
+    memory-mappable layout (npz members are compressed zip entries and cannot
+    be mapped).  Returns ``{parameter_name: file_path}``.
+    """
+    weights_dir = os.path.join(directory, ARTIFACT_WEIGHTS)
+    os.makedirs(weights_dir, exist_ok=True)
+    written: Dict[str, str] = {}
+    for name, param in model.named_parameters():
+        path = os.path.join(weights_dir, f"{name}.npy")
+        np.save(path, np.ascontiguousarray(param.data))
+        written[name] = path
+    return written
+
+
+def resolve_checkpoint_path(path: str) -> str:
+    """Resolve an artifact directory / bare path to the actual ``.npz`` file."""
+    if os.path.isdir(path):
+        candidate = os.path.join(path, ARTIFACT_CHECKPOINT)
+        if not os.path.exists(candidate):
+            raise FileNotFoundError(
+                f"{path} is a directory but contains no {ARTIFACT_CHECKPOINT}; "
+                "expected an `sptransx run` artifact directory or a .npz file"
+            )
+        return candidate
+    if not os.path.exists(path):
+        if os.path.exists(path + ".npz"):
+            return path + ".npz"
+        raise FileNotFoundError(path)
+    return path
+
+
+def read_checkpoint_metadata(path: str) -> Dict[str, object]:
+    """Read only the JSON metadata blob of a checkpoint.
+
+    Loads a single npz member, so the cost is independent of model size —
+    the memory-mapped serving path uses this to learn the model spec without
+    pulling any parameter array into RAM.
+    """
+    with np.load(resolve_checkpoint_path(path), allow_pickle=False) as data:
+        return json.loads(bytes(data["metadata"]).decode("utf-8"))
+
 
 def load_checkpoint(path: str) -> Checkpoint:
     """Read a checkpoint written by :func:`save_checkpoint`.
@@ -157,19 +207,7 @@ def load_checkpoint(path: str) -> Checkpoint:
     what lets :func:`load_model` and the serving engine warm-load an artifact
     without knowing its internal layout.
     """
-    if os.path.isdir(path):
-        candidate = os.path.join(path, ARTIFACT_CHECKPOINT)
-        if not os.path.exists(candidate):
-            raise FileNotFoundError(
-                f"{path} is a directory but contains no {ARTIFACT_CHECKPOINT}; "
-                "expected an `sptransx run` artifact directory or a .npz file"
-            )
-        path = candidate
-    if not os.path.exists(path):
-        if os.path.exists(path + ".npz"):
-            path = path + ".npz"
-        else:
-            raise FileNotFoundError(path)
+    path = resolve_checkpoint_path(path)
     with np.load(path, allow_pickle=False) as data:
         metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
         model_state = {key[len("model::"):]: data[key] for key in data.files
@@ -199,9 +237,54 @@ def model_from_checkpoint(checkpoint: Checkpoint, rng=0) -> KGEModel:
     return model
 
 
-def load_model(path: str, rng=0) -> KGEModel:
-    """One-call ``path → ready model`` (what the serving engine and CLI use)."""
+def load_model(path: str, rng=0, mmap: bool = False) -> KGEModel:
+    """One-call ``path → ready model`` (what the serving engine and CLI use).
+
+    With ``mmap=True`` and an artifact directory carrying a ``weights/``
+    directory, the model is constructed without initialising its parameters
+    (:func:`repro.nn.init.skip_init`) and each parameter is attached to its
+    on-disk ``.npy`` file via ``np.load(..., mmap_mode="r")`` — the embedding
+    tables are paged in lazily by the OS and are never densified into RAM.
+    The returned model is read-only: training or ``normalize_parameters``
+    would write through the map and must use the regular loader.
+    """
+    if mmap:
+        checkpoint_file = resolve_checkpoint_path(path)
+        weights_dir = os.path.join(os.path.dirname(checkpoint_file),
+                                   ARTIFACT_WEIGHTS)
+        if not os.path.isdir(weights_dir):
+            raise FileNotFoundError(
+                f"no {ARTIFACT_WEIGHTS}/ directory next to {checkpoint_file}; "
+                "memory-mapped loading needs an artifact written with weight "
+                "files (re-run `sptransx run`, or load with mmap=False)"
+            )
+        return _model_from_weight_files(checkpoint_file, weights_dir, rng=rng)
     return model_from_checkpoint(load_checkpoint(path), rng=rng)
+
+
+def _model_from_weight_files(checkpoint_file: str, weights_dir: str,
+                             rng=0) -> KGEModel:
+    """Build a model whose parameters are read-only maps of on-disk arrays."""
+    from repro.nn.init import skip_init
+
+    metadata = read_checkpoint_metadata(checkpoint_file)
+    spec = Checkpoint(model_state={}, metadata=metadata).spec()
+    with skip_init():
+        model = build_model(spec, rng=rng)
+    for name, param in model.named_parameters():
+        weight_path = os.path.join(weights_dir, f"{name}.npy")
+        if not os.path.exists(weight_path):
+            raise FileNotFoundError(
+                f"weight file missing for parameter {name!r}: {weight_path}"
+            )
+        mapped = np.load(weight_path, mmap_mode="r")
+        if mapped.shape != param.data.shape or mapped.dtype != param.data.dtype:
+            raise ValueError(
+                f"weight file {weight_path} has shape {mapped.shape} / dtype "
+                f"{mapped.dtype}, model expects {param.data.shape} / {param.data.dtype}"
+            )
+        param.data = mapped
+    return model
 
 
 def restore_into(checkpoint: Checkpoint, model: KGEModel,
@@ -221,7 +304,13 @@ def restore_into(checkpoint: Checkpoint, model: KGEModel,
                     f"checkpoint has {saved[key]!r}, model has {current.get(key)!r}"
                 )
     model.load_state_dict(checkpoint.model_state)
-    if optimizer is not None and checkpoint.optimizer_state:
-        _restore_optimizer_state(optimizer, model, checkpoint.optimizer_state)
+    if optimizer is not None:
+        if checkpoint.optimizer_state:
+            _restore_optimizer_state(optimizer, model, checkpoint.optimizer_state)
         if checkpoint.metadata.get("optimizer_lr"):
             optimizer.set_lr(float(checkpoint.metadata["optimizer_lr"]))
+        # Schedulers key off the global step counter; without this a resumed
+        # run (notably stateless SGD) would restart any warmup/decay schedule
+        # from step zero.
+        optimizer._step_count = int(checkpoint.metadata.get(
+            "optimizer_step_count", optimizer._step_count))

@@ -49,6 +49,12 @@ class TrainingConfig:
         :class:`~repro.training.trainer.Trainer` applies this flag to the
         model in both directions, overriding any earlier
         ``set_sparse_grads`` call.
+    num_workers:
+        Data-parallel worker processes.  ``1`` (default) trains in-process
+        with :class:`~repro.training.trainer.Trainer`; ``N > 1`` shards every
+        global batch across ``N`` OS processes that exchange row-sparse
+        gradients (:class:`~repro.training.multiprocess.MultiprocessTrainer`)
+        and follow the single-worker trajectory.
     """
 
     epochs: int = 100
@@ -62,6 +68,7 @@ class TrainingConfig:
     seed: Optional[int] = 0
     log_every: int = 0
     sparse_grads: bool = False
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -78,6 +85,8 @@ class TrainingConfig:
             )
         if self.normalize_every < 0:
             raise ValueError(f"normalize_every must be non-negative, got {self.normalize_every}")
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form for logging and EXPERIMENTS.md records."""

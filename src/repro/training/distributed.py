@@ -14,6 +14,10 @@ exercises the same code path:
   worker's measured compute time plus a ring-all-reduce cost
   ``2·(W−1)/W · bytes / bandwidth + 2·(W−1) · latency``, the standard α–β
   model.  The Table-9 benchmark reports these estimates for 4-64 workers.
+
+For *measured* data parallelism — real OS processes exchanging row-sparse
+gradients — see :mod:`repro.training.multiprocess`; this module stays as the
+modeled baseline ``benchmarks/bench_distributed.py`` compares against.
 """
 
 from __future__ import annotations

@@ -91,6 +91,20 @@ class TrainingResult:
         }
 
 
+def replay_epochs(batches, n: int) -> None:
+    """Consume ``n`` epochs of a batch source without training on them.
+
+    Replays exactly the random draws those epochs would have made — epoch
+    permutations and negative corruption — which is the resume fast-forward
+    contract shared by :class:`Trainer` and every multiprocess replica: any
+    change to how an epoch's randomness is consumed must keep this single
+    replay path equivalent to real iteration.
+    """
+    for _ in range(max(int(n), 0)):
+        for _ in batches:
+            pass
+
+
 def build_optimizer(name: str, model: KGEModel, lr: float) -> Optimizer:
     """Instantiate the optimiser named in a :class:`TrainingConfig`."""
     params = list(model.parameters())
@@ -122,17 +136,26 @@ class Trainer:
         Negative sampler; defaults to uniform corruption.
     callbacks:
         Sequence of :class:`~repro.training.callbacks.Callback` objects.
+    batches:
+        Optional pre-built batch source: any re-iterable yielding
+        :class:`~repro.data.batching.TripletBatch` per epoch (an in-memory
+        :class:`~repro.data.batching.BatchIterator`, a
+        :class:`~repro.data.streaming.StreamingBatchIterator` over an SQLite
+        store, or anything custom).  When given, ``dataset`` may be ``None``
+        — the trainer then never touches a materialised triple array, which
+        is what makes out-of-core training possible.
     """
 
     def __init__(
         self,
         model: KGEModel,
-        dataset: KGDataset,
+        dataset: Optional[KGDataset] = None,
         config: Optional[TrainingConfig] = None,
         optimizer: Optional[Optimizer] = None,
         criterion=None,
         sampler: Optional[NegativeSampler] = None,
         callbacks: Optional[Sequence] = None,
+        batches=None,
     ) -> None:
         self.model = model
         self.dataset = dataset
@@ -147,18 +170,27 @@ class Trainer:
         self.criterion = criterion if criterion is not None else MarginRankingLoss(
             margin=self.config.margin
         )
-        rng = new_rng(self.config.seed)
-        self.sampler = sampler if sampler is not None else UniformNegativeSampler(
-            dataset.n_entities, rng=rng
-        )
-        self.batches = BatchIterator(
-            dataset,
-            batch_size=self.config.batch_size,
-            sampler=self.sampler,
-            shuffle=self.config.shuffle,
-            regenerate_negatives=self.config.regenerate_negatives,
-            rng=rng,
-        )
+        if batches is not None:
+            self.batches = batches
+            self.sampler = sampler if sampler is not None else getattr(
+                batches, "sampler", None)
+        else:
+            if dataset is None:
+                raise ValueError(
+                    "Trainer needs either a dataset or a pre-built `batches` source"
+                )
+            rng = new_rng(self.config.seed)
+            self.sampler = sampler if sampler is not None else UniformNegativeSampler(
+                dataset.n_entities, rng=rng
+            )
+            self.batches = BatchIterator(
+                dataset,
+                batch_size=self.config.batch_size,
+                sampler=self.sampler,
+                shuffle=self.config.shuffle,
+                regenerate_negatives=self.config.regenerate_negatives,
+                rng=rng,
+            )
         self.callbacks = list(callbacks) if callbacks else []
         self.stop_requested = False
 
@@ -206,14 +238,29 @@ class Trainer:
             data_time=data,
         )
 
-    def train(self, epochs: Optional[int] = None) -> TrainingResult:
-        """Run the full training loop and return per-epoch statistics."""
+    def skip_epochs(self, n: int) -> None:
+        """Fast-forward the data pipeline past ``n`` epochs without training.
+
+        This is what makes a resumed run continue the *same* trajectory as an
+        uninterrupted one: restoring model and optimiser state alone still
+        leaves the batch and negative streams rewound to epoch zero.
+        """
+        replay_epochs(self.batches, n)
+
+    def train(self, epochs: Optional[int] = None,
+              start_epoch: int = 0) -> TrainingResult:
+        """Run the full training loop and return per-epoch statistics.
+
+        ``start_epoch`` offsets the epoch numbering (and the
+        ``normalize_every`` phase) when resuming from a checkpoint; call
+        :meth:`skip_epochs` first to fast-forward the data pipeline.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
         result = TrainingResult()
         self.model.train()
         for callback in self.callbacks:
             callback.on_train_begin(self)
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, start_epoch + epochs):
             stats = self.train_epoch(epoch)
             result.epochs.append(stats)
             if self.config.log_every and (epoch + 1) % self.config.log_every == 0:

@@ -165,6 +165,48 @@ class TestSQLiteStore:
             vocab = store.entity_vocabulary()
             assert vocab.index("a") == 0
 
+    def test_ingest_triple_batches_streams_blocks_in(self):
+        """The out-of-core ingestion path: integer blocks + registered vocab
+        sizes reproduce ingest_dataset without ever holding the full graph."""
+        kg = generate_synthetic_kg(25, 3, 90, rng=4)
+        train = kg.split.train
+
+        def blocks():
+            for start in range(0, train.shape[0], 16):
+                yield train[start:start + 16]
+
+        with SQLiteKGStore() as store:
+            store.register_vocab_sizes(kg.n_entities, kg.n_relations)
+            written = store.ingest_triple_batches(blocks())
+            assert written == train.shape[0]
+            assert store.n_entities == kg.n_entities
+            assert store.n_relations == kg.n_relations
+            assert store.n_triples("train") == train.shape[0]
+            streamed = np.concatenate(list(store.iter_batches(32)), axis=0)
+            np.testing.assert_array_equal(streamed, train)
+
+    def test_ingest_triple_batches_skips_empty_blocks(self):
+        with SQLiteKGStore() as store:
+            written = store.ingest_triple_batches(
+                [np.empty((0, 3), dtype=np.int64),
+                 np.array([[0, 0, 1], [1, 0, 2]])])
+            assert written == 2
+            assert store.n_triples("train") == 2
+
+    def test_block_bounds_and_fetch_block_cover_a_split(self):
+        kg = generate_synthetic_kg(20, 3, 70, rng=5, valid_fraction=0.2)
+        with SQLiteKGStore() as store:
+            store.ingest_dataset(kg)
+            for split in ("train", "valid"):
+                bounds = store.block_bounds(16, split=split)
+                total = sum(store.fetch_block(lo, hi, split=split).shape[0]
+                            for lo, hi in bounds)
+                assert total == store.n_triples(split)
+            fetched = np.concatenate(
+                [store.fetch_block(lo, hi) for lo, hi in store.block_bounds(16)],
+                axis=0)
+            np.testing.assert_array_equal(fetched, kg.split.train)
+
     def test_file_backed_store(self, tmp_path):
         path = str(tmp_path / "kg.db")
         kg = generate_synthetic_kg(10, 2, 20, rng=3)

@@ -53,7 +53,7 @@ class TestRun:
         _, artifact_dir, _ = finished_run
         names = sorted(os.listdir(artifact_dir))
         assert names == ["checkpoint.npz", "environment.json", "history.json",
-                         "metrics.json", "spec.json"]
+                         "metrics.json", "spec.json", "weights"]
 
     def test_spec_json_round_trips(self, finished_run):
         spec, artifact_dir, _ = finished_run

@@ -1,0 +1,196 @@
+"""Tests for the out-of-core storage path: parity, artifacts, mmap serving,
+and checkpoint-resume trajectory equality."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InMemoryTripleStore,
+    SQLiteKGStore,
+    StreamingBatchIterator,
+    UniformNegativeSampler,
+    generate_synthetic_kg,
+)
+from repro.experiment import DataSpec, EvalSpec, Experiment, ExperimentSpec
+from repro.models import SpTransE
+from repro.registry import ModelSpec
+from repro.serving import InferenceEngine
+from repro.training import Trainer, TrainingConfig
+from repro.utils.seeding import new_rng
+
+
+def make_spec(storage="memory", num_workers=1, epochs=2, **data_overrides):
+    data = DataSpec(dataset="WN18RR", scale=0.003, test_fraction=0.05,
+                    storage=storage, **data_overrides)
+    n_entities, n_relations = data.vocab_sizes()
+    return ExperimentSpec(
+        name=f"storage-{storage}",
+        data=data,
+        model=ModelSpec(model="transe", formulation="sparse",
+                        n_entities=n_entities, n_relations=n_relations,
+                        embedding_dim=16, sparse_grads=True),
+        training=TrainingConfig(epochs=epochs, batch_size=256,
+                                learning_rate=0.01, sparse_grads=True,
+                                num_workers=num_workers),
+        eval=EvalSpec(protocols=()),
+    )
+
+
+class TestStorageParity:
+    def test_sqlite_and_memory_streams_produce_identical_loss_curves(self):
+        """The same streaming pipeline over SQLite vs RAM differs only in the
+        byte source, so the loss curves must be identical floats."""
+        kg = generate_synthetic_kg(50, 5, 400, rng=0)
+        cfg = TrainingConfig(epochs=3, batch_size=64, learning_rate=0.01,
+                             sparse_grads=True, seed=0)
+
+        def run(store):
+            model = SpTransE(kg.n_entities, kg.n_relations, 16, rng=1)
+            batches = StreamingBatchIterator(
+                store, batch_size=cfg.batch_size,
+                sampler=UniformNegativeSampler(kg.n_entities, rng=new_rng(4)),
+                seed=0)
+            return Trainer(model, config=cfg, batches=batches).train(), model
+
+        sqlite_store = SQLiteKGStore()
+        sqlite_store.ingest_dataset(kg)
+        sqlite_result, sqlite_model = run(sqlite_store)
+        memory_result, memory_model = run(InMemoryTripleStore(kg))
+        assert sqlite_result.losses == memory_result.losses
+        np.testing.assert_array_equal(sqlite_model.embeddings.weight.data,
+                                      memory_model.embeddings.weight.data)
+
+    def test_experiment_sqlite_storage_end_to_end(self, tmp_path):
+        artifact_dir = str(tmp_path / "artifact")
+        spec = make_spec(storage="sqlite", epochs=3)
+        result = Experiment(spec, artifact_dir=artifact_dir).run()
+        assert len(result.training.losses) == 3
+        assert result.training.losses[-1] < result.training.losses[0]
+        assert os.path.exists(os.path.join(artifact_dir, "data.sqlite"))
+        # Out-of-core mode released the materialised triples before training.
+        assert result.dataset is None
+        assert result.dataset_name.startswith("WN18RR")
+
+    def test_experiment_sqlite_with_workers_matches_single(self, tmp_path):
+        spec = make_spec(storage="sqlite", epochs=2)
+        single = Experiment(spec, artifact_dir=str(tmp_path / "w1")).run()
+        multi = Experiment(
+            spec.replace(training=spec.training.replace(num_workers=2)),
+            artifact_dir=str(tmp_path / "w2")).run()
+        np.testing.assert_allclose(single.training.losses,
+                                   multi.training.losses, rtol=1e-9)
+        for (name, a), (_, b) in zip(single.model.named_parameters(),
+                                     multi.model.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data, rtol=1e-9, atol=1e-12,
+                                       err_msg=name)
+
+    def test_stale_store_with_same_count_is_rejected(self, tmp_path):
+        """Reusing a storage_path across different datasets must fail even
+        when the triple counts coincide (content fingerprint, not count)."""
+        db = str(tmp_path / "shared.sqlite")
+        spec_a = make_spec(storage="sqlite", epochs=1, storage_path=db, seed=0)
+        Experiment(spec_a).run()
+        # Same generator/scale, different generation seed: identical counts,
+        # different triples.
+        spec_b = make_spec(storage="sqlite", epochs=1, storage_path=db, seed=1)
+        with pytest.raises(ValueError, match="different dataset"):
+            Experiment(spec_b).run()
+        # The matching spec still reuses the store without re-spooling.
+        result = Experiment(spec_a).run()
+        assert len(result.training.losses) == 1
+
+    def test_sqlite_storage_keeps_dataset_when_evaluating(self, tmp_path):
+        spec = make_spec(storage="sqlite", epochs=1)
+        spec = spec.replace(
+            eval=EvalSpec(protocols=("link_prediction",), ks=(1, 10)))
+        result = Experiment(spec, artifact_dir=str(tmp_path / "a")).run()
+        assert result.dataset is not None
+        assert result.report("link_prediction").metrics
+
+
+class TestMmapArtifacts:
+    def test_run_then_serve_memory_mapped(self, tmp_path):
+        """run → from_artifact → query with embeddings left on disk."""
+        artifact_dir = str(tmp_path / "artifact")
+        Experiment(make_spec(epochs=1), artifact_dir=artifact_dir).run()
+        assert os.path.isdir(os.path.join(artifact_dir, "weights"))
+
+        engine = InferenceEngine.from_artifact(artifact_dir)  # mmap="auto"
+        for name, param in engine.model.named_parameters():
+            assert isinstance(param.data, np.memmap), name
+        result = engine.top_k_tails(3, 1, k=5)
+        assert len(result.entities) == 5
+        assert list(result.scores) == sorted(result.scores)
+
+    def test_mmap_answers_match_dense_answers(self, tmp_path):
+        artifact_dir = str(tmp_path / "artifact")
+        Experiment(make_spec(epochs=1), artifact_dir=artifact_dir).run()
+        mapped = InferenceEngine.from_artifact(artifact_dir, mmap=True)
+        dense = InferenceEngine.from_artifact(artifact_dir, mmap=False)
+        assert not any(isinstance(p.data, np.memmap)
+                       for p in dense.model.parameters())
+        for head in range(5):
+            a = mapped.top_k_tails(head, 1, k=7)
+            b = dense.top_k_tails(head, 1, k=7)
+            assert a.entities == b.entities
+            np.testing.assert_allclose(a.scores, b.scores)
+
+    def test_mmap_requires_weight_files(self, tmp_path):
+        artifact_dir = str(tmp_path / "artifact")
+        Experiment(make_spec(epochs=1), artifact_dir=artifact_dir).run()
+        import shutil
+
+        shutil.rmtree(os.path.join(artifact_dir, "weights"))
+        with pytest.raises(FileNotFoundError):
+            InferenceEngine.from_artifact(artifact_dir, mmap=True)
+        # auto falls back to the dense load.
+        engine = InferenceEngine.from_artifact(artifact_dir)
+        assert engine.top_k_tails(0, 0, k=3).entities
+
+
+class TestSparseResumeRegression:
+    """Satellite regression: lazy sparse optimiser state + the data pipeline
+    must both survive save → load → resume and continue the identical
+    trajectory of an uninterrupted run."""
+
+    @pytest.mark.parametrize("optimizer", ["adam", "adagrad"])
+    def test_resume_continues_identical_trajectory(self, tmp_path, optimizer):
+        spec = make_spec(epochs=6)
+        spec = spec.replace(
+            name=f"resume-{optimizer}",
+            training=spec.training.replace(optimizer=optimizer))
+
+        uninterrupted = Experiment(spec).run()
+
+        half = spec.replace(training=spec.training.replace(epochs=3))
+        checkpoint = str(tmp_path / "half.npz")
+        Experiment(half, checkpoint_path=checkpoint).run()
+        resumed = Experiment(spec, resume=checkpoint).run()
+
+        assert len(resumed.training.losses) == 3
+        np.testing.assert_array_equal(
+            uninterrupted.training.losses[3:], resumed.training.losses)
+        for (name, a), (_, b) in zip(
+                uninterrupted.model.named_parameters(),
+                resumed.model.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_resume_restores_optimizer_step_count(self, tmp_path):
+        spec = make_spec(epochs=2)
+        checkpoint = str(tmp_path / "ck.npz")
+        Experiment(spec, checkpoint_path=checkpoint).run()
+        from repro.training import load_checkpoint
+
+        metadata = load_checkpoint(checkpoint).metadata
+        assert metadata["optimizer_step_count"] > 0
+
+    def test_resume_with_workers_is_rejected(self, tmp_path):
+        spec = make_spec(epochs=4)
+        checkpoint = str(tmp_path / "ck.npz")
+        Experiment(spec.replace(training=spec.training.replace(epochs=2)),
+                   checkpoint_path=checkpoint).run()
+        multi = spec.replace(training=spec.training.replace(num_workers=2))
+        with pytest.raises(ValueError, match="num_workers"):
+            Experiment(multi, resume=checkpoint).run()

@@ -1,11 +1,12 @@
 """Tests for the request batcher: coalescing, correctness, error isolation."""
 
 import threading
+import time
 
 import pytest
 
 from repro.registry import ModelSpec, build_model
-from repro.serving import InferenceEngine, RequestBatcher
+from repro.serving import EngineClosed, InferenceEngine, RequestBatcher
 
 
 def make_engine(n_entities=40, cache_size=0):
@@ -88,3 +89,90 @@ class TestBatcher:
     def test_invalid_max_batch_rejected(self):
         with pytest.raises(ValueError):
             RequestBatcher(make_engine(), max_batch=0)
+
+
+class TestShutdownSemantics:
+    """Satellite regression: requests in flight when close() runs must either
+    complete or raise EngineClosed — never hang or drop their futures."""
+
+    def test_submit_after_close_raises_engine_closed(self):
+        batcher = RequestBatcher(make_engine(), max_batch=4, max_wait_ms=1.0)
+        batcher.close()
+        with pytest.raises(EngineClosed):
+            batcher.top_k_tails(0, 0, k=1)
+
+    def test_requests_in_flight_at_close_still_complete(self):
+        """close() drains: every request enqueued before it gets a result."""
+        engine = make_engine()
+        outcomes = {}
+        # A long window keeps the first batch open while close() arrives.
+        batcher = RequestBatcher(engine, max_batch=64, max_wait_ms=100.0)
+        barrier = threading.Barrier(9)
+
+        def worker(i):
+            barrier.wait()
+            try:
+                outcomes[i] = batcher.top_k_tails(i % 8, i % 3, k=4)
+            except EngineClosed as exc:
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        time.sleep(0.2)          # let every submission reach the queue/batch
+        batcher.close()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "a caller hung across close()"
+        assert len(outcomes) == 8
+        # close() joins the worker, which drains the queue: everything that
+        # made it into the queue before the sentinel completes for real.
+        for i, outcome in outcomes.items():
+            assert not isinstance(outcome, Exception), outcome
+            expected = engine.model.predict_tails(i % 8, i % 3, k=4)
+            assert list(outcome.entities) == [int(x) for x in expected]
+
+    def test_wedged_worker_fails_queued_requests_instead_of_hanging(self):
+        """If the engine wedges past close()'s timeout, queued requests get
+        EngineClosed instead of waiting forever."""
+        engine = make_engine()
+        release = threading.Event()
+        original = engine.top_k_tails_batch
+
+        def slow_batch(queries):
+            release.wait(timeout=30.0)
+            return original(queries)
+
+        engine.top_k_tails_batch = slow_batch
+        batcher = RequestBatcher(engine, max_batch=1, max_wait_ms=0.1)
+        outcomes = {}
+
+        def worker(i):
+            try:
+                outcomes[i] = batcher.top_k_tails(0, 0, k=2)
+            except EngineClosed as exc:
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        # Wait until the worker thread is wedged inside the engine call and
+        # the remaining requests sit in the queue behind it.
+        deadline = time.monotonic() + 5.0
+        while batcher._queue.qsize() < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        batcher.close(timeout=0.2)
+        release.set()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "a caller hung across a wedged close()"
+        assert len(outcomes) == 3
+        assert any(isinstance(o, EngineClosed) for o in outcomes.values())
+
+    def test_double_close_is_idempotent(self):
+        batcher = RequestBatcher(make_engine(), max_batch=4, max_wait_ms=1.0)
+        batcher.close()
+        batcher.close()
+        with pytest.raises(EngineClosed):
+            batcher.top_k_heads(0, 0, k=1)

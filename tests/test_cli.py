@@ -140,6 +140,36 @@ class TestRunCommand:
         assert code == 0
         assert "hits@10" in json.loads(out)
 
+    def test_run_storage_and_workers_overrides(self, capsys, tmp_path):
+        spec_path = str(tmp_path / "exp.json")
+        run_cli(capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+                "--model", "transe", "--epochs", "1", "--batch-size", "256",
+                "--dim", "8", "--sparse-grads", "--output", spec_path)
+        spec_payload = json.loads((tmp_path / "exp.json").read_text())
+        assert spec_payload["data"]["storage"] == "memory"
+        assert spec_payload["training"]["num_workers"] == 1
+
+        artifacts = str(tmp_path / "artifacts")
+        code, out = run_cli(capsys, "run", spec_path, "--artifacts", artifacts,
+                            "--storage", "sqlite", "--workers", "2", "--quiet")
+        assert code == 0
+        assert json.loads(out)["metrics"]["epochs_trained"] == 1
+        assert (tmp_path / "artifacts" / "data.sqlite").exists()
+        assert (tmp_path / "artifacts" / "weights").is_dir()
+
+    def test_train_accepts_storage_and_workers_flags(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "model.npz")
+        code, out = run_cli(capsys, "train", "--dataset", "WN18RR", "--scale",
+                            "0.003", "--model", "transe", "--epochs", "1",
+                            "--batch-size", "256", "--dim", "8",
+                            "--storage", "sqlite", "--storage-path",
+                            str(tmp_path / "kg.sqlite"), "--workers", "2",
+                            "--sparse-grads", "--checkpoint", checkpoint)
+        assert code == 0
+        assert (tmp_path / "kg.sqlite").exists()
+        summary = json.loads(out[:out.rindex("}") + 1])
+        assert np.isfinite(summary["final_loss"])
+
     def test_run_missing_spec_fails(self, capsys, tmp_path):
         with pytest.raises(SystemExit, match="cannot load"):
             main(["run", str(tmp_path / "nope.json")])
