@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="override training.num_workers: data-parallel "
                           "processes exchanging row-sparse gradients")
+    run.add_argument("--partitions", type=int, default=None,
+                     help="override model.partitions: shard the entity table "
+                          "into P LRU-paged buckets (train, checkpoint, and "
+                          "serve without ever materializing the full table)")
     run.add_argument("--quiet", action="store_true")
 
     export = sub.add_parser(
@@ -201,6 +205,12 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="row-sparse gradient pipeline: backward and optimizer "
                              "cost scale with the batch instead of the vocabulary "
                              "(exact for sgd/adagrad, lazy SparseAdam-style for adam)")
+    parser.add_argument("--partitions", type=int, default=1,
+                        help="shard the entity table into P contiguous range "
+                             "buckets paged through an LRU-bounded resident set; with "
+                             "--storage sqlite training runs PBG-style "
+                             "bucket-pair episodes so a step touches at most "
+                             "two buckets (implies row-sparse gradients)")
     parser.add_argument("--workers", type=int, default=1,
                         help="data-parallel worker processes: each global batch "
                              "is sharded across N replicas that exchange "
@@ -247,6 +257,10 @@ def _experiment_spec_from_args(args: argparse.Namespace,
         kg = data.materialize()
         sizes = (kg.n_entities, kg.n_relations)
     try:
+        partitions = getattr(args, "partitions", 1)
+        partitions = 1 if partitions is None else int(partitions)
+        if partitions < 1:
+            raise SystemExit(f"--partitions must be >= 1, got {partitions}")
         model = ModelSpec(
             model=args.model,
             formulation=args.formulation,
@@ -256,7 +270,8 @@ def _experiment_spec_from_args(args: argparse.Namespace,
             relation_dim=args.relation_dim,
             backend=args.backend,
             dissimilarity=args.dissimilarity,
-            sparse_grads=bool(args.sparse_grads),
+            sparse_grads=bool(args.sparse_grads) or partitions > 1,
+            partitions=partitions if partitions > 1 else None,
         )
         training = TrainingConfig(
             epochs=args.epochs, batch_size=args.batch_size,
@@ -294,6 +309,13 @@ def _apply_run_overrides(spec: ExperimentSpec,
         spec = spec.replace(data=dataclasses.replace(spec.data, **data_overrides))
     if args.workers is not None:
         spec = spec.replace(training=spec.training.replace(num_workers=args.workers))
+    if getattr(args, "partitions", None) is not None:
+        partitions = int(args.partitions)
+        if partitions < 1:
+            raise ValueError(f"--partitions must be >= 1, got {partitions}")
+        spec = spec.replace(model=spec.model.replace(
+            partitions=partitions if partitions > 1 else None,
+            sparse_grads=spec.model.sparse_grads or partitions > 1))
     return spec
 
 

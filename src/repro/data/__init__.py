@@ -30,6 +30,7 @@ from repro.data.streaming import (
     StreamingBatchIterator,
     TripleStore,
 )
+from repro.data.partition_schedule import PartitionedStreamingIterator
 
 __all__ = [
     "Vocabulary",
@@ -54,6 +55,7 @@ __all__ = [
     "TripletBatch",
     "BatchIterator",
     "StreamingBatchIterator",
+    "PartitionedStreamingIterator",
     "InMemoryTripleStore",
     "TripleStore",
 ]

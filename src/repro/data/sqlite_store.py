@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -248,6 +248,81 @@ class SQLiteKGStore:
         if lo is not None:
             bounds.append((lo, last))
         return bounds
+
+    def cluster_by_partition(self, bucket_size: int) -> None:
+        """Rewrite the triples table ordered by ``(head bucket, tail bucket)``.
+
+        The PBG-style bucket-pair schedule wants each ``(head_bucket,
+        tail_bucket)`` episode to be a handful of contiguous rowid runs so it
+        can stream an episode with cheap ``rowid BETWEEN`` scans.  This
+        one-time clustering pass reorders the rows with SQLite's external
+        sort (disk-backed — the triples never materialise in Python), after
+        which :meth:`pair_runs` returns exactly one run per populated pair.
+
+        Idempotent per ``bucket_size``: the applied size is recorded in the
+        meta table and re-clustering with the same size is a no-op.
+        """
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        if self.get_meta("clustered_bucket_size") == str(int(bucket_size)):
+            return
+        with self._conn:
+            # Plain execute()s so everything stays inside one transaction
+            # (executescript would commit early); the DROP clears any debris
+            # a previously interrupted clustering attempt left behind.
+            self._conn.execute("DROP TABLE IF EXISTS triples_clustered")
+            self._conn.execute("""
+                CREATE TABLE triples_clustered (
+                    rowid INTEGER PRIMARY KEY AUTOINCREMENT,
+                    head INTEGER NOT NULL,
+                    relation INTEGER NOT NULL,
+                    tail INTEGER NOT NULL,
+                    split TEXT NOT NULL DEFAULT 'train'
+                )
+            """)
+            # SQLite's / on integers is integer division, so head/bs is the
+            # head's bucket id.
+            self._conn.execute(
+                "INSERT INTO triples_clustered (head, relation, tail, split) "
+                "SELECT head, relation, tail, split FROM triples "
+                "ORDER BY split, head / ?, tail / ?, rowid",
+                (int(bucket_size), int(bucket_size)),
+            )
+            self._conn.execute("DROP TABLE triples")
+            self._conn.execute("ALTER TABLE triples_clustered RENAME TO triples")
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_triples_split ON triples(split)")
+        self.set_meta("clustered_bucket_size", str(int(bucket_size)))
+
+    def pair_runs(self, bucket_size: int, split: str = "train"
+                  ) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
+        """Contiguous rowid runs per ``(head_bucket, tail_bucket)`` pair.
+
+        One sequential scan computes, for every populated bucket pair, the
+        list of inclusive ``(lo, hi)`` rowid runs holding its triples.  On a
+        store clustered with :meth:`cluster_by_partition` each pair collapses
+        to a single run, so memory stays O(pairs); on an unclustered store the
+        runs simply fragment (correct, just more per-episode scans).
+        """
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        runs: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        cursor = self._conn.execute(
+            "SELECT rowid, head / ?, tail / ? FROM triples WHERE split = ? "
+            "ORDER BY rowid",
+            (int(bucket_size), int(bucket_size), split),
+        )
+        while True:
+            rows = cursor.fetchmany(65536)
+            if not rows:
+                break
+            for rowid, bh, bt in rows:
+                pair_runs = runs.setdefault((int(bh), int(bt)), [])
+                if pair_runs and pair_runs[-1][1] == rowid - 1:
+                    pair_runs[-1] = (pair_runs[-1][0], rowid)
+                else:
+                    pair_runs.append((rowid, rowid))
+        return runs
 
     def fetch_block(self, lo: int, hi: int, split: str = "train") -> np.ndarray:
         """All ``(head, relation, tail)`` rows with ``lo <= rowid <= hi``."""

@@ -88,6 +88,28 @@ class InMemoryTripleStore:
     def fetch_block(self, lo: int, hi: int, split: str = "train") -> np.ndarray:
         return self._split(split)[lo:hi + 1]
 
+    def pair_runs(self, bucket_size: int, split: str = "train"
+                  ) -> dict:
+        """Contiguous row runs per ``(head_bucket, tail_bucket)`` pair.
+
+        In-memory twin of :meth:`repro.data.sqlite_store.SQLiteKGStore.pair_runs`
+        (rows are 0-based positions rather than SQLite rowids), so the
+        bucket-pair schedule can be exercised against RAM-backed data too.
+        """
+        if bucket_size <= 0:
+            raise ValueError(f"bucket_size must be positive, got {bucket_size}")
+        triples = self._split(split)
+        runs: dict = {}
+        for row in range(triples.shape[0]):
+            pair = (int(triples[row, 0] // bucket_size),
+                    int(triples[row, 2] // bucket_size))
+            pair_list = runs.setdefault(pair, [])
+            if pair_list and pair_list[-1][1] == row - 1:
+                pair_list[-1] = (pair_list[-1][0], row)
+            else:
+                pair_list.append((row, row))
+        return runs
+
 
 class StreamingBatchIterator:
     """Iterate positive/negative batches straight out of a triple store.

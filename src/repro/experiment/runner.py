@@ -36,9 +36,12 @@ import numpy as np
 
 from repro.data.dataset import KGDataset, TripleSplit
 from repro.data.negative_sampling import UniformNegativeSampler
+from repro.data.partition_schedule import PartitionedStreamingIterator
 from repro.data.sqlite_store import SQLiteKGStore
 from repro.data.streaming import StreamingBatchIterator
 from repro.data.batching import BatchIterator
+from repro.nn.partitioned import partitioned_tables
+from repro.partition import EntityPartition
 from repro.evaluation.evaluators import EvalReport
 from repro.models.base import KGEModel
 from repro.optim.optimizer import Optimizer
@@ -308,6 +311,53 @@ class Experiment:
         """
         spec = self.spec
         config = spec.training
+        partitions = spec.model.partitions or 1
+        if spec.data.storage == "sqlite" and partitions > 1:
+            # Partition-aware schedule: bucket-pair episodes over the store,
+            # so a training step touches at most two entity buckets and the
+            # table's resident set stays at its default bound of 2.
+            assert db_path is not None
+            if spec.data.negative_sampler != "uniform":
+                raise ValueError(
+                    "partitioned sqlite training uses the bucket-pair "
+                    "schedule, whose corruption is bucket-local uniform; "
+                    f"negative_sampler={spec.data.negative_sampler!r} is not "
+                    "supported with partitions > 1 (use \"uniform\" or "
+                    "storage=\"memory\")"
+                )
+            if not config.shuffle:
+                raise ValueError(
+                    "partitioned sqlite training always shuffles (seeded "
+                    "bucket-pair episodes); shuffle=False is not supported "
+                    "with partitions > 1"
+                )
+            partition = EntityPartition(dataset.n_entities, partitions)
+            if spec.data.storage_path is None:
+                # One-time disk-side clustering so every episode is a single
+                # contiguous rowid run (idempotent per bucket size).  Only for
+                # the run's own store: clustering reorders the triples table,
+                # which would silently change the seeded block shuffle of any
+                # later *unpartitioned* run sharing a user-supplied database.
+                with SQLiteKGStore(db_path) as store:
+                    store.cluster_by_partition(partition.bucket_size)
+            else:
+                logger.info(
+                    "partitioned training on user-supplied store %s: skipping "
+                    "disk-side clustering (episodes stream fragmented runs; "
+                    "spool into a run-owned store for contiguous episodes)",
+                    db_path)
+            shuffle_seed = config.seed if config.seed is not None else 0
+            num_negatives = spec.data.num_negatives
+            batch_size = config.batch_size
+
+            def factory():
+                return PartitionedStreamingIterator(
+                    SQLiteKGStore(db_path), batch_size=batch_size,
+                    partition=partition, seed=shuffle_seed,
+                    num_negatives=num_negatives,
+                )
+            return factory
+
         if spec.data.storage == "sqlite":
             assert db_path is not None
             n_entities = dataset.n_entities
@@ -369,6 +419,12 @@ class Experiment:
         if self.resume is None:
             return 0
         checkpoint = load_checkpoint(self.resume)
+        if checkpoint.partition_manifest is not None or (self.spec.model.partitions or 1) > 1:
+            raise ValueError(
+                "cannot resume a partitioned run: bucket optimiser state is "
+                "paged per bucket and is not replayable yet; train in one go "
+                "(or serve the artifact, which needs no resume)"
+            )
         stored = checkpoint.metadata.get("training_config")
         if stored is not None:
             # Schema-validates the stored payload (stale keys fail loudly)
@@ -402,8 +458,11 @@ class Experiment:
                         losses=result.training.losses,
                         extra_metadata=self._checkpoint_metadata())
         # Mirror the parameters as numpy.lib.format files so the artifact can
-        # be served memory-mapped (npz members cannot be mapped).
-        save_weight_files(directory, result.model)
+        # be served memory-mapped (npz members cannot be mapped).  Partitioned
+        # models already wrote their bucket files + manifest as part of
+        # save_checkpoint (a partitioned npz is incomplete without them).
+        if not partitioned_tables(result.model):
+            save_weight_files(directory, result.model)
         _write_json(os.path.join(directory, ARTIFACT_METRICS), result.metrics)
         _write_json(os.path.join(directory, ARTIFACT_HISTORY), {
             "losses": result.training.losses,

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import ranking
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.batching import TripletBatch
 from repro.losses.margin import MarginRankingLoss
@@ -44,6 +45,12 @@ class KGEModel(Module):
         #: When True, models that support it emit row-sparse gradients from
         #: their SpMM / gather backwards (see ``repro.sparse.rowsparse``).
         self.sparse_grads = False
+
+    #: Number of entity-table buckets; models backed by a
+    #: :class:`~repro.nn.partitioned.PartitionedEmbedding` override this with
+    #: the partition count so the training/serving layers can stay
+    #: partition-aware without isinstance checks.
+    n_partitions = 1
 
     def set_sparse_grads(self, enabled: bool = True) -> "KGEModel":
         """Toggle the row-sparse gradient path (where the model supports it).
@@ -133,62 +140,20 @@ class KGEModel(Module):
                            position: str, chunk_size: int) -> np.ndarray:
         """Candidate-expansion ranking shared by the two ``score_all_*`` fallbacks.
 
-        The whole candidate grid is materialised with ``np.repeat``/``np.tile``
-        in blocks of query rows (rather than one Python-level ``column_stack``
-        per query), sized so each block stays within ``chunk_size`` triples.
+        Delegates to :func:`repro.ranking.candidate_expansion_scores`, the one
+        implementation of the expand-and-chunk grid this library has.
         """
-        n = self.n_entities
-        b = first.shape[0]
-        candidates = np.arange(n, dtype=np.int64)
-        out = np.empty((b, n), dtype=np.float64)
-        rows_per_block = max(1, int(chunk_size) // n)
-        for start in range(0, b, rows_per_block):
-            stop = min(b, start + rows_per_block)
-            rows = stop - start
-            expanded_first = np.repeat(first[start:stop], n)
-            expanded_second = np.repeat(second[start:stop], n)
-            tiled = np.tile(candidates, rows)
-            if position == "tail":
-                triples = np.column_stack([expanded_first, expanded_second, tiled])
-            else:
-                triples = np.column_stack([tiled, expanded_first, expanded_second])
-            out[start:stop] = self.score_triples(
-                triples, chunk_size=chunk_size).reshape(rows, n)
-        return out
+        return ranking.candidate_expansion_scores(
+            first, second, position=position, n_entities=self.n_entities,
+            score_triples=self.score_triples, chunk_size=chunk_size)
 
-    @staticmethod
-    def l2_distance_matrix(queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """Pairwise L2 distances ``(B, N)`` through one GEMM.
+    #: Pairwise L2 distances ``(B, N)`` through one GEMM; kept as a static
+    #: method for API compatibility — the implementation lives in
+    #: :func:`repro.ranking.l2_distance_matrix`.
+    l2_distance_matrix = staticmethod(ranking.l2_distance_matrix)
 
-        ``||q − t||² = ||q||² − 2 q·t + ||t||²`` avoids materialising the
-        ``(B, N, d)`` diff tensor; shared by the closed-form ranking path
-        (``SpTransE``) and the serving engine's embedding-space kNN.
-        """
-        sq = (queries ** 2).sum(axis=1)[:, None] + (targets ** 2).sum(axis=1)[None, :]
-        sq -= 2.0 * (queries @ targets.T)
-        # Cancellation can leave tiny negatives where q ≈ t.
-        np.maximum(sq, 0.0, out=sq)
-        return np.sqrt(sq + 1e-12)
-
-    @staticmethod
-    def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
-        """Indices of the ``k`` smallest scores, ordered ascending.
-
-        ``argpartition`` selects the top-k in O(N), then only those k entries
-        are sorted — the serving-time win over a full O(N log N) ``argsort``.
-        """
-        n = scores.shape[0]
-        k = max(0, min(int(k), n))
-        if k == 0:
-            return np.empty(0, dtype=np.int64)
-        if k >= n:
-            return np.argsort(scores, kind="stable").astype(np.int64)
-        selected = np.argpartition(scores, k - 1)[:k]
-        # Lexsort orders the selected subset stably by (score, index).  Which
-        # of several candidates tied exactly at the k-th score make the cut is
-        # up to argpartition, matching np.argsort's own unspecified tie order.
-        order = np.lexsort((selected, scores[selected]))
-        return selected[order].astype(np.int64)
+    #: O(N) argpartition top-k (ascending); see :func:`repro.ranking.top_k`.
+    _top_k = staticmethod(ranking.top_k)
 
     def predict_tails(self, head: int, relation: int, k: int = 10) -> np.ndarray:
         """Return the ``k`` most plausible tail entities for ``(head, relation, ?)``."""
@@ -214,6 +179,43 @@ class KGEModel(Module):
     def relation_embedding_matrix(self) -> np.ndarray:
         """Dense ``(n_relations, d_rel)`` relation embedding snapshot."""
         raise NotImplementedError
+
+    def entity_embedding_rows(self, entity_ids: np.ndarray) -> np.ndarray:
+        """Copy of selected entity embedding rows ``(k, d)``.
+
+        The default slices the dense snapshot; table-backed models override
+        it with a row read that never densifies the full matrix.
+        """
+        idx = np.asarray(entity_ids, dtype=np.int64).reshape(-1)
+        return self.entity_embedding_matrix()[idx]
+
+    def iter_entity_embedding_blocks(self, block_rows: Optional[int] = None
+                                     ) -> Iterable[Tuple[int, np.ndarray]]:
+        """Yield ``(start_row, block)`` sweeps over the entity embeddings.
+
+        Bounded-memory primitive behind blocked ranking and the serving
+        engine's nearest-neighbour scan.  ``block_rows`` defaults to an
+        element-bounded size (a few MB per block regardless of row width).
+        The default yields slices of the dense snapshot; partitioned models
+        stream one bucket at a time.
+        """
+        from repro.nn.table import block_rows_for
+
+        if block_rows is None:
+            block_rows = block_rows_for(self.embedding_dim)
+        matrix = self.entity_embedding_matrix()
+        for start in range(0, matrix.shape[0], int(block_rows)):
+            yield start, matrix[start:start + int(block_rows)]
+
+    def bind_optimizer(self, optimizer) -> None:
+        """Give the model a chance to cooperate with its optimiser.
+
+        Default is a no-op.  Partition-backed models attach the optimiser to
+        their embedding table so per-bucket optimiser state slabs page in and
+        out with their bucket (see
+        :meth:`~repro.nn.partitioned.PartitionedEmbedding.attach_optimizer`).
+        Trainers call this right after constructing the optimiser.
+        """
 
     def normalize_parameters(self) -> None:
         """Per-epoch parameter maintenance (entity renormalisation etc.).

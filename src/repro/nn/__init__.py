@@ -9,16 +9,27 @@ translational model.
 
 from repro.nn.parameter import Parameter
 from repro.nn.module import Module
+from repro.nn.table import DenseSliceTable, EmbeddingTable
 from repro.nn.embedding import Embedding, StackedEmbedding, MemoryMappedEmbedding
+from repro.nn.partitioned import (
+    BucketParameter,
+    PartitionedEmbedding,
+    partitioned_tables,
+)
 from repro.nn import init
 from repro.nn import functional
 
 __all__ = [
     "Parameter",
     "Module",
+    "EmbeddingTable",
+    "DenseSliceTable",
     "Embedding",
     "StackedEmbedding",
     "MemoryMappedEmbedding",
+    "PartitionedEmbedding",
+    "BucketParameter",
+    "partitioned_tables",
     "init",
     "functional",
 ]

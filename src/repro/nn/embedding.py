@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import tempfile
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -25,10 +25,11 @@ from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.nn.table import DEFAULT_BLOCK_ROWS, DenseSliceTable, EmbeddingTable
 from repro.utils.seeding import new_rng
 
 
-class Embedding(Module):
+class Embedding(Module, EmbeddingTable):
     """Dense lookup-table embedding (the fine-grained gather/scatter path).
 
     Parameters
@@ -70,17 +71,33 @@ class Embedding(Module):
         """Project every row onto the L_p ball of radius ``max_norm`` in place.
 
         TransE-style training renormalises entity embeddings between batches;
-        this is a data-level operation outside the autograd tape.
+        this is a data-level operation outside the autograd tape.  The
+        projection runs block-wise (see
+        :func:`~repro.nn.table.renormalize_block_`) so the norm/scale
+        temporaries stay bounded regardless of table height; being purely
+        per-row, the result is bit-identical to the whole-matrix projection.
         """
-        w = self.weight.data
-        if p == 2:
-            norms = np.linalg.norm(w, axis=1, keepdims=True)
-        elif p == 1:
-            norms = np.abs(w).sum(axis=1, keepdims=True)
-        else:
-            raise ValueError(f"p must be 1 or 2, got {p}")
-        scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-12), 1.0)
-        w *= scale
+        self._table().renormalize_(max_norm=max_norm, p=p)
+
+    # ------------------------------------------------------------------ #
+    # EmbeddingTable interface
+    # ------------------------------------------------------------------ #
+    def _table(self) -> DenseSliceTable:
+        return DenseSliceTable(self.weight.data)
+
+    @property
+    def n_rows(self) -> int:
+        return self.num_embeddings
+
+    def read_rows(self, indices: np.ndarray) -> np.ndarray:
+        return self._table().read_rows(indices)
+
+    def iter_blocks(self, block_rows: int = DEFAULT_BLOCK_ROWS
+                    ) -> Iterator[Tuple[int, np.ndarray]]:
+        return self._table().iter_blocks(block_rows)
+
+    def write_rows(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self._table().write_rows(indices, values)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
@@ -153,16 +170,22 @@ class StackedEmbedding(Module):
                            sparse_grad=self.sparse_grad)
 
     def renormalize_entities(self, max_norm: float = 1.0, p: int = 2) -> None:
-        """Project entity rows onto the L_p ball (relations untouched)."""
-        w = self.weight.data[: self.n_entities]
-        if p == 2:
-            norms = np.linalg.norm(w, axis=1, keepdims=True)
-        elif p == 1:
-            norms = np.abs(w).sum(axis=1, keepdims=True)
-        else:
-            raise ValueError(f"p must be 1 or 2, got {p}")
-        scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-12), 1.0)
-        w *= scale
+        """Project entity rows onto the L_p ball (relations untouched).
+
+        Runs block-wise over the entity block so memory for the norm/scale
+        temporaries is bounded by the block size, not the vocabulary; the
+        per-row projection makes the result bit-identical to the old
+        whole-matrix code.
+        """
+        self.entity_table().renormalize_(max_norm=max_norm, p=p)
+
+    def entity_table(self) -> DenseSliceTable:
+        """:class:`~repro.nn.table.EmbeddingTable` view of the entity block."""
+        return DenseSliceTable(self.weight.data, 0, self.n_entities)
+
+    def relation_table(self) -> DenseSliceTable:
+        """:class:`~repro.nn.table.EmbeddingTable` view of the relation block."""
+        return DenseSliceTable(self.weight.data, self.n_entities, self.num_rows)
 
     def load_pretrained(self, entity_matrix: Optional[np.ndarray] = None,
                         relation_matrix: Optional[np.ndarray] = None) -> None:
@@ -189,7 +212,7 @@ class StackedEmbedding(Module):
                 f"relations={self.n_relations}, dim={self.embedding_dim})")
 
 
-class MemoryMappedEmbedding(Module):
+class MemoryMappedEmbedding(Module, EmbeddingTable):
     """Disk-backed stacked embedding for tables larger than main memory.
 
     The weight lives in a ``numpy.memmap`` file.  Forward lookups behave like
@@ -237,6 +260,27 @@ class MemoryMappedEmbedding(Module):
     @property
     def shape(self) -> Tuple[int, int]:
         return (self.n_entities + self.n_relations, self.embedding_dim)
+
+    # ------------------------------------------------------------------ #
+    # EmbeddingTable interface (over the full stacked row space)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return self.n_entities + self.n_relations
+
+    def read_rows(self, indices: np.ndarray) -> np.ndarray:
+        return self.lookup(indices)
+
+    def iter_blocks(self, block_rows: int = 65536
+                    ) -> Iterator[Tuple[int, np.ndarray]]:
+        for start in range(0, self.n_rows, block_rows):
+            stop = min(self.n_rows, start + block_rows)
+            yield start, np.array(self._memmap[start:stop], dtype=np.float64)
+
+    def write_rows(self, rows: np.ndarray, values: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        self._memmap[rows] = np.asarray(values, dtype=np.float64)
+        self._memmap.flush()
 
     def lookup(self, rows: np.ndarray) -> np.ndarray:
         """Read rows from disk into an in-memory array (no autograd)."""

@@ -45,6 +45,17 @@ def skip_init() -> Iterator[None]:
         _init_mode.skip = previous
 
 
+def skipping_init() -> bool:
+    """Whether a :func:`skip_init` block is active on this thread.
+
+    Modules whose initialisation has side effects beyond filling an array —
+    :class:`~repro.nn.partitioned.PartitionedEmbedding` creates its on-disk
+    bucket files — consult this so construction under :func:`skip_init`
+    (the attach-to-existing-storage path) touches neither memory nor disk.
+    """
+    return _init_mode.skip
+
+
 def _fan_in_out(shape) -> tuple[int, int]:
     if len(shape) < 1:
         raise ValueError("cannot compute fan for a scalar parameter")

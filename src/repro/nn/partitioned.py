@@ -1,0 +1,650 @@
+"""Partitioned embedding tables: entity parameters in P independently paged buckets.
+
+The scale ceiling after out-of-core *data* (PR 4) is the dense entity table:
+every trainer replica and the serving engine still materialised all
+``(n_entities, d)`` rows.  :class:`PartitionedEmbedding` removes that ceiling
+by range-partitioning the entity rows into ``P`` buckets, each backed by its
+own ``entities.bucket<k>.npy`` file:
+
+* a bucket is **faulted in** (one ``np.load``) the first time anything touches
+  its rows and **evicted** (one ``np.save`` write-back when dirty) once the
+  LRU-bounded resident set overflows ``max_resident`` buckets — peak RAM is
+  ``max_resident`` bucket slabs, never the full table;
+* each bucket is its own :class:`BucketParameter`, so row-sparse gradients,
+  optimiser state (Adam/Adagrad moment slabs), and the multiprocess trainer's
+  gradient exchange are all naturally bucket-granular: optimiser state pages
+  out *with* its bucket (see :meth:`attach_optimizer`), and untouched buckets
+  contribute nothing to the DDP wire volume;
+* relations stay a small always-resident dense parameter.
+
+Initialisation draws the same Xavier stream a
+:class:`~repro.nn.embedding.StackedEmbedding` of the stacked ``(N + R, d)``
+shape would draw — bucket by bucket, entities first, relations last — so a
+partitioned model starts from bit-identical weights and (with the compacted
+SpMM scoring path in :class:`~repro.models.transe.SpTransE`) follows the
+bit-identical training trajectory of its unpartitioned twin.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import shutil
+import tempfile
+import time
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.nn.table import (
+    DEFAULT_BLOCK_ROWS,
+    EmbeddingTable,
+    block_rows_for,
+    renormalize_block_,
+)
+from repro.partition import EntityPartition
+from repro.sparse.rowsparse import RowSparseGrad
+from repro.utils.seeding import new_rng
+
+#: Manifest filename written next to the bucket files.
+PARTITION_MANIFEST = "partition.json"
+
+#: Current manifest schema version.
+PARTITION_MANIFEST_VERSION = 1
+
+
+def bucket_filename(bucket: int) -> str:
+    """On-disk name of entity bucket ``bucket`` (``entities.bucket<k>.npy``)."""
+    return f"entities.bucket{int(bucket)}.npy"
+
+
+class BucketParameter(Parameter):
+    """One bucket of entity rows, resident only while its slab is loaded.
+
+    ``.data`` is a faulting property: reading it while the bucket is evicted
+    makes the owning :class:`PartitionedEmbedding` load the slab from disk
+    (possibly evicting another bucket), so optimizers and autograd code that
+    were written for plain dense parameters keep working unchanged.  Shape
+    metadata (``shape``/``size``/``nbytes``) is answered without faulting.
+    """
+
+    def __init__(self, owner: "PartitionedEmbedding", bucket: int,
+                 rows: int, dim: int, name: str) -> None:
+        self._owner = owner
+        self._bucket = int(bucket)
+        self._bucket_shape = (int(rows), int(dim))
+        self._slab: Optional[np.ndarray] = None
+        super().__init__(np.empty((0, int(dim))), requires_grad=True, name=name)
+        self._slab = None  # constructed evicted; the owner faults on demand
+
+    # ``data`` shadows the Tensor slot with a faulting property.
+    @property
+    def data(self) -> np.ndarray:  # type: ignore[override]
+        if self._slab is None:
+            self._owner._fault(self._bucket)
+        self._owner._touch(self._bucket)
+        return self._slab
+
+    @data.setter
+    def data(self, value) -> None:
+        self._slab = value
+
+    @property
+    def resident(self) -> bool:
+        """Whether the bucket's slab is currently in memory."""
+        return self._slab is not None
+
+    @property
+    def bucket(self) -> int:
+        return self._bucket
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._bucket_shape
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def size(self) -> int:
+        return self._bucket_shape[0] * self._bucket_shape[1]
+
+    @property
+    def dtype(self):
+        return np.dtype(np.float64)
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * np.dtype(np.float64).itemsize
+
+    def restore_opt_state(self, optimizer, state: Dict[str, object]) -> None:
+        """Hook called by ``Optimizer._param_state`` on first (re-)use.
+
+        Refills ``state`` with this bucket's paged-out buffers, so a bucket
+        whose optimiser state was evicted to disk resumes mid-decay instead of
+        silently restarting from fresh zeros.
+        """
+        self._owner._load_optimizer_state(self._bucket, state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "resident" if self.resident else "evicted"
+        return (f"BucketParameter(bucket={self._bucket}, "
+                f"shape={self._bucket_shape}, {status})")
+
+
+class PartitionedEmbedding(Module, EmbeddingTable):
+    """Entity/relation embeddings with the entity table in ``P`` paged buckets.
+
+    Parameters
+    ----------
+    n_entities, n_relations, embedding_dim:
+        Table geometry (entity rows are partitioned; relations stay dense).
+    partitions:
+        Number of entity buckets ``P``.
+    rng:
+        Seed or generator; the draw order matches a
+        :class:`~repro.nn.embedding.StackedEmbedding` of the same stacked
+        shape bit for bit.
+    directory:
+        Where the bucket files live; a private temporary directory (removed on
+        :meth:`close`) is created when omitted.  Under
+        :func:`repro.nn.init.skip_init` no files are created — call
+        :meth:`attach_storage` to bind existing bucket files instead.
+    max_resident:
+        LRU bound on simultaneously resident buckets (``None`` keeps every
+        bucket resident once touched).  ``2`` — the default — is exactly what
+        the bucket-pair batch schedule needs.
+    read_only:
+        Serving mode: evictions never write back and mutation raises.
+    """
+
+    def __init__(self, n_entities: int, n_relations: int, embedding_dim: int,
+                 partitions: int, rng=None, directory: Optional[str] = None,
+                 max_resident: Optional[int] = 2, read_only: bool = False) -> None:
+        super().__init__()
+        if n_entities <= 0 or n_relations <= 0 or embedding_dim <= 0:
+            raise ValueError("n_entities, n_relations, and embedding_dim must be positive")
+        self.n_entities = int(n_entities)
+        self.n_relations = int(n_relations)
+        self._embedding_dim = int(embedding_dim)
+        self.partition = EntityPartition(self.n_entities, int(partitions))
+        if max_resident is None:
+            max_resident = self.partition.n_partitions
+        if max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self.max_resident = int(max_resident)
+        self.read_only = bool(read_only)
+
+        self._optimizer = None
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self._dirty: set = set()
+        self._attached = False
+        self._owns_dir = False
+        self._directory: Optional[str] = None
+        self.counters: Dict[str, float] = {
+            "faults": 0, "evictions": 0, "writebacks": 0,
+            "bytes_loaded": 0, "bytes_written": 0,
+            "fault_seconds": 0.0, "writeback_seconds": 0.0,
+            "peak_resident": 0,
+        }
+
+        # Relations: small, dense, always resident.
+        self.relations = Parameter(np.empty((self.n_relations, self._embedding_dim)),
+                                   name="relations")
+        # Bucket parameters (attribute registration keeps them in
+        # named_parameters for optimizers, digests, and the DDP wire format).
+        self._buckets: List[BucketParameter] = []
+        for k in range(self.partition.n_partitions):
+            param = BucketParameter(self, k, self.partition.bucket_rows(k),
+                                    self._embedding_dim, name=f"bucket{k}")
+            setattr(self, f"bucket{k}", param)
+            self._buckets.append(param)
+
+        if init.skipping_init():
+            # Attach-to-existing-storage path: no allocation, no files.
+            return
+        self._directory = directory if directory is not None else tempfile.mkdtemp(
+            prefix="sptransx-partitioned-")
+        os.makedirs(self._directory, exist_ok=True)
+        self._owns_dir = directory is None
+        self._initialize(new_rng(rng))
+        self._attached = True
+
+    # ------------------------------------------------------------------ #
+    # Construction / storage lifecycle
+    # ------------------------------------------------------------------ #
+    def _initialize(self, rng: np.random.Generator) -> None:
+        """Xavier init drawn in StackedEmbedding order (entities, then relations).
+
+        The bound comes from the *stacked* ``(N + R, d)`` shape and the
+        uniform stream is consumed bucket by bucket in row order, so every row
+        receives exactly the floats the equivalent
+        :class:`~repro.nn.embedding.StackedEmbedding` would give it.
+        """
+        stacked_rows = self.n_entities + self.n_relations
+        bound = math.sqrt(6.0 / (self._embedding_dim + stacked_rows))
+        for k, param in enumerate(self._buckets):
+            rows = self.partition.bucket_rows(k)
+            slab = rng.uniform(-bound, bound, size=(rows, self._embedding_dim))
+            np.save(self._bucket_path(k), slab)
+        self.relations.data[...] = rng.uniform(
+            -bound, bound, size=(self.n_relations, self._embedding_dim))
+
+    def _bucket_path(self, bucket: int) -> str:
+        if self._directory is None:
+            raise RuntimeError(
+                "partitioned embedding has no storage attached; construct it "
+                "outside skip_init() or call attach_storage(directory)"
+            )
+        return os.path.join(self._directory, bucket_filename(bucket))
+
+    def _state_path(self, bucket: int, buffer: str) -> str:
+        return self._bucket_path(bucket) + f".state.{buffer}.npy"
+
+    def _state_meta_path(self, bucket: int) -> str:
+        return self._bucket_path(bucket) + ".state.json"
+
+    def manifest(self) -> Dict[str, object]:
+        """The ``partition.json`` payload describing the bucket layout."""
+        return {
+            "version": PARTITION_MANIFEST_VERSION,
+            "n_entities": self.n_entities,
+            "n_relations": self.n_relations,
+            "embedding_dim": self._embedding_dim,
+            "partitions": self.partition.n_partitions,
+            "bucket_size": self.partition.bucket_size,
+            "buckets": [
+                {"file": bucket_filename(k), "start": lo, "rows": hi - lo}
+                for k, (lo, hi) in enumerate(self.partition.ranges())
+            ],
+            "entity_param_prefix": "bucket",
+            "relations_param": "relations",
+        }
+
+    def write_manifest(self, directory: Optional[str] = None) -> str:
+        """Write ``partition.json`` into ``directory`` (default: own storage)."""
+        directory = directory if directory is not None else self._directory
+        path = os.path.join(directory, PARTITION_MANIFEST)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def attach_storage(self, directory: str, read_only: bool = True) -> None:
+        """Bind this table to existing bucket files (serving / reload path).
+
+        The directory must carry a compatible ``partition.json``; any resident
+        slabs are dropped (not written back) so subsequent faults read the
+        attached files.
+        """
+        manifest_path = os.path.join(directory, PARTITION_MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(
+                f"no {PARTITION_MANIFEST} in {directory}; not a partitioned "
+                "weights directory"
+            )
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for key, expected in (("n_entities", self.n_entities),
+                              ("embedding_dim", self._embedding_dim),
+                              ("partitions", self.partition.n_partitions)):
+            if int(manifest.get(key, -1)) != expected:
+                raise ValueError(
+                    f"partition manifest mismatch for {key!r}: manifest has "
+                    f"{manifest.get(key)!r}, table expects {expected}"
+                )
+        for entry in manifest["buckets"]:
+            path = os.path.join(directory, entry["file"])
+            if not os.path.exists(path):
+                raise FileNotFoundError(f"bucket file missing: {path}")
+        self._drop_resident()
+        if self._owns_dir and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+        self._directory = directory
+        self._owns_dir = False
+        self._attached = True
+        self.read_only = bool(read_only)
+
+    def rehome(self, directory: Optional[str] = None) -> str:
+        """Move the backing storage to a private directory (fork isolation).
+
+        A forked worker replica shares the parent's bucket *files*; rehoming
+        copies them (resident slabs are written from memory) into a directory
+        this process owns, so concurrent replicas never write back into each
+        other's storage.  Returns the new directory.
+        """
+        # The current directory belongs to the parent process the moment we
+        # decide to rehome: disown it FIRST, so a failure mid-copy (and the
+        # close() that follows in the worker's cleanup) can never rmtree the
+        # parent's live bucket storage.
+        self._owns_dir = False
+        new_dir = directory if directory is not None else tempfile.mkdtemp(
+            prefix="sptransx-partitioned-")
+        os.makedirs(new_dir, exist_ok=True)
+        for k, param in enumerate(self._buckets):
+            target = os.path.join(new_dir, bucket_filename(k))
+            if param.resident:
+                np.save(target, param._slab)
+            else:
+                shutil.copyfile(self._bucket_path(k), target)
+        self._directory = new_dir
+        self._owns_dir = directory is None
+        self._dirty.clear()
+        return new_dir
+
+    def close(self) -> None:
+        """Drop resident slabs and delete owned storage."""
+        self._drop_resident()
+        if self._owns_dir and self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+            self._owns_dir = False
+
+    def __del__(self) -> None:  # pragma: no cover - best effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _drop_resident(self) -> None:
+        for param in self._buckets:
+            param._slab = None
+        self._resident.clear()
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------ #
+    # Residency management
+    # ------------------------------------------------------------------ #
+    def _touch(self, bucket: int) -> None:
+        if bucket in self._resident:
+            self._resident.move_to_end(bucket)
+            if not self.read_only:
+                # ``.data`` is the only doorway to in-place mutation
+                # (optimizer scatter updates), so a touch in training mode
+                # conservatively marks the bucket dirty.
+                self._dirty.add(bucket)
+
+    def _fault(self, bucket: int) -> None:
+        """Load ``bucket``'s slab, evicting LRU buckets beyond the bound."""
+        param = self._buckets[bucket]
+        if param.resident:
+            self._resident.move_to_end(bucket)
+            return
+        while len(self._resident) >= self.max_resident:
+            victim, _ = self._resident.popitem(last=False)
+            self._evict(victim)
+        t0 = time.perf_counter()
+        slab = np.load(self._bucket_path(bucket))
+        param._slab = slab
+        self._resident[bucket] = None
+        self.counters["faults"] += 1
+        self.counters["bytes_loaded"] += slab.nbytes
+        self.counters["fault_seconds"] += time.perf_counter() - t0
+        self.counters["peak_resident"] = max(self.counters["peak_resident"],
+                                             len(self._resident))
+
+    def _evict(self, bucket: int) -> None:
+        param = self._buckets[bucket]
+        if not param.resident:
+            return
+        if not self.read_only and bucket in self._dirty:
+            t0 = time.perf_counter()
+            np.save(self._bucket_path(bucket), param._slab)
+            self.counters["writebacks"] += 1
+            self.counters["bytes_written"] += param._slab.nbytes
+            self.counters["writeback_seconds"] += time.perf_counter() - t0
+        self._dirty.discard(bucket)
+        self._page_out_optimizer_state(bucket)
+        param._slab = None
+        self._resident.pop(bucket, None)
+        self.counters["evictions"] += 1
+
+    def flush(self) -> None:
+        """Write every dirty resident bucket (and its optimiser state) to disk.
+
+        Leaves residency untouched; used before checkpointing and before the
+        bucket files are copied into an artifact directory.
+        """
+        if self.read_only:
+            return
+        for bucket in list(self._resident):
+            param = self._buckets[bucket]
+            if bucket in self._dirty:
+                t0 = time.perf_counter()
+                np.save(self._bucket_path(bucket), param._slab)
+                self.counters["writebacks"] += 1
+                self.counters["bytes_written"] += param._slab.nbytes
+                self.counters["writeback_seconds"] += time.perf_counter() - t0
+                self._dirty.discard(bucket)
+            self._save_optimizer_state(bucket, pop=False)
+
+    # ------------------------------------------------------------------ #
+    # Optimizer-state paging (per-bucket slabs page with their bucket)
+    # ------------------------------------------------------------------ #
+    def attach_optimizer(self, optimizer) -> None:
+        """Let bucket evictions page this optimiser's per-bucket state slabs.
+
+        Adam/Adagrad keep ``(bucket_rows, d)`` moment slabs per bucket
+        parameter; once attached, those slabs are written next to their bucket
+        file on eviction and restored (through
+        :meth:`BucketParameter.restore_opt_state`) when the optimiser next
+        touches the bucket — resident-set memory covers parameters *and*
+        optimiser state.
+        """
+        self._optimizer = optimizer
+
+    def _page_out_optimizer_state(self, bucket: int) -> None:
+        if self._optimizer is None:
+            return
+        self._save_optimizer_state(bucket, pop=True)
+
+    def _save_optimizer_state(self, bucket: int, pop: bool) -> None:
+        if self._optimizer is None or self.read_only:
+            return
+        param = self._buckets[bucket]
+        state = self._optimizer.state.get(id(param))
+        if not state:
+            return
+        scalars: Dict[str, object] = {}
+        for buffer, value in state.items():
+            if isinstance(value, np.ndarray):
+                np.save(self._state_path(bucket, buffer), value)
+            else:
+                scalars[buffer] = value
+        with open(self._state_meta_path(bucket), "w", encoding="utf-8") as handle:
+            json.dump(scalars, handle)
+        if pop:
+            self._optimizer.state.pop(id(param), None)
+
+    def _load_optimizer_state(self, bucket: int, state: Dict[str, object]) -> None:
+        meta_path = self._state_meta_path(bucket)
+        if not os.path.exists(meta_path):
+            return  # never paged out: genuinely fresh state
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            state.update(json.load(handle))
+        prefix = bucket_filename(bucket) + ".state."
+        for name in os.listdir(self._directory):
+            if name.startswith(prefix) and name.endswith(".npy"):
+                buffer = name[len(prefix):-len(".npy")]
+                state[buffer] = np.load(os.path.join(self._directory, name))
+
+    # ------------------------------------------------------------------ #
+    # EmbeddingTable interface (entity rows)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return self.n_entities
+
+    @property
+    def embedding_dim(self) -> int:
+        return self._embedding_dim
+
+    @property
+    def n_partitions(self) -> int:
+        return self.partition.n_partitions
+
+    def _bucket_slices(self, sorted_ids: np.ndarray) -> Iterator[Tuple[int, slice, np.ndarray]]:
+        """Yield ``(bucket, slice_into_sorted_ids, local_rows)`` per touched bucket."""
+        buckets = self.partition.bucket_of(sorted_ids)
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], buckets[1:] != buckets[:-1])))
+        for i, start in enumerate(boundaries):
+            stop = boundaries[i + 1] if i + 1 < boundaries.size else sorted_ids.size
+            bucket = int(buckets[start])
+            lo, _ = self.partition.bucket_range(bucket)
+            yield bucket, slice(int(start), int(stop)), sorted_ids[start:stop] - lo
+
+    def read_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Copy of arbitrary entity rows (faulting buckets as needed)."""
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_entities):
+            raise IndexError("entity index out of range")
+        out = np.empty((idx.size, self._embedding_dim))
+        order = np.argsort(idx, kind="stable")
+        sorted_ids = idx[order]
+        for bucket, sl, local in self._bucket_slices(sorted_ids):
+            self._fault(bucket)
+            out[order[sl]] = self._buckets[bucket]._slab[local]
+            self._resident.move_to_end(bucket)
+        return out
+
+    def iter_blocks(self, block_rows: int = DEFAULT_BLOCK_ROWS
+                    ) -> Iterator[Tuple[int, np.ndarray]]:
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        for k in range(self.partition.n_partitions):
+            lo, hi = self.partition.bucket_range(k)
+            self._fault(k)
+            slab = self._buckets[k]._slab
+            for start in range(0, hi - lo, block_rows):
+                stop = min(hi - lo, start + block_rows)
+                yield lo + start, slab[start:stop]
+
+    def write_rows(self, indices: np.ndarray, values: np.ndarray) -> None:
+        if self.read_only:
+            raise RuntimeError("cannot write rows of a read-only partitioned table")
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(idx.size, -1)
+        order = np.argsort(idx, kind="stable")
+        sorted_ids = idx[order]
+        for bucket, sl, local in self._bucket_slices(sorted_ids):
+            self._fault(bucket)
+            self._buckets[bucket]._slab[local] = values[order[sl]]
+            self._dirty.add(bucket)
+            self._resident.move_to_end(bucket)
+
+    def renormalize_(self, max_norm: float = 1.0, p: int = 2,
+                     block_rows: Optional[int] = None) -> None:
+        """Block-wise entity row projection, in place, one bucket at a time."""
+        if self.read_only:
+            raise RuntimeError("cannot renormalize a read-only partitioned table")
+        if block_rows is None:
+            block_rows = block_rows_for(self._embedding_dim)
+        for k in range(self.partition.n_partitions):
+            self._fault(k)
+            slab = self._buckets[k]._slab
+            for start in range(0, slab.shape[0], block_rows):
+                renormalize_block_(slab[start:start + block_rows], max_norm, p)
+            self._dirty.add(k)
+            self._resident.move_to_end(k)
+
+    # ------------------------------------------------------------------ #
+    # Relations + compact gather/scatter (the training hot path)
+    # ------------------------------------------------------------------ #
+    def relation_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Copy of relation rows (always resident)."""
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_relations):
+            raise IndexError("relation index out of range")
+        return np.array(self.relations.data[idx], copy=True)
+
+    def gather_stacked(self, entity_ids: np.ndarray, relation_ids: np.ndarray
+                       ) -> Tuple[np.ndarray, Tuple[Parameter, ...]]:
+        """Compact ``[entities; relations]`` block for a batch's unique ids.
+
+        ``entity_ids``/``relation_ids`` must be sorted and unique (the caller
+        gets them from ``np.unique``).  Returns the ``(U_e + U_r, d)`` stacked
+        rows plus the parameters gradients must flow to — the touched bucket
+        parameters and the relation parameter — for use as autograd parents.
+        """
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        relation_ids = np.asarray(relation_ids, dtype=np.int64)
+        out = np.empty((entity_ids.size + relation_ids.size, self._embedding_dim))
+        parents: List[Parameter] = []
+        for bucket, sl, local in self._bucket_slices(entity_ids):
+            self._fault(bucket)
+            out[sl] = self._buckets[bucket]._slab[local]
+            self._resident.move_to_end(bucket)
+            parents.append(self._buckets[bucket])
+        out[entity_ids.size:] = self.relations.data[relation_ids]
+        parents.append(self.relations)
+        return out, tuple(parents)
+
+    def scatter_stacked_grad(self, entity_ids: np.ndarray,
+                             relation_ids: np.ndarray,
+                             grad: RowSparseGrad) -> None:
+        """Split a compact stacked gradient onto bucket / relation parameters.
+
+        ``grad`` indexes the compact rows :meth:`gather_stacked` returned
+        (entities first, relations after).  Entity rows become per-bucket
+        :class:`~repro.sparse.rowsparse.RowSparseGrad` contributions with
+        bucket-local indices; relation rows become one row-sparse gradient on
+        the relation parameter.  Buckets receiving gradient are marked dirty —
+        the optimiser's scatter update will write them before the next
+        eviction can page them out.
+        """
+        entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        relation_ids = np.asarray(relation_ids, dtype=np.int64)
+        split = int(np.searchsorted(grad.indices, entity_ids.size))
+        ent_rows = entity_ids[grad.indices[:split]]
+        ent_vals = grad.values[:split]
+        for bucket, sl, local in self._bucket_slices(ent_rows):
+            param = self._buckets[bucket]
+            param.accumulate_grad(RowSparseGrad(local, ent_vals[sl], param.shape))
+            self._dirty.add(bucket)
+        rel_rows = relation_ids[grad.indices[split:] - entity_ids.size]
+        if rel_rows.size:
+            self.relations.accumulate_grad(RowSparseGrad(
+                rel_rows, grad.values[split:],
+                (self.n_relations, self._embedding_dim)))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Optional[str]:
+        """Directory holding the bucket files."""
+        return self._directory
+
+    def bucket_parameters(self) -> Sequence[BucketParameter]:
+        """The bucket parameters, in bucket order."""
+        return tuple(self._buckets)
+
+    def resident_buckets(self) -> Tuple[int, ...]:
+        """Currently resident bucket ids (LRU order, oldest first)."""
+        return tuple(self._resident)
+
+    def stats(self) -> Dict[str, float]:
+        """Fault/eviction/write-back counters plus current residency."""
+        out = dict(self.counters)
+        out["resident"] = len(self._resident)
+        out["max_resident"] = self.max_resident
+        out["partitions"] = self.partition.n_partitions
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PartitionedEmbedding(entities={self.n_entities}, "
+                f"relations={self.n_relations}, dim={self._embedding_dim}, "
+                f"partitions={self.partition.n_partitions}, "
+                f"max_resident={self.max_resident})")
+
+
+def partitioned_tables(module: Module) -> List[PartitionedEmbedding]:
+    """Every :class:`PartitionedEmbedding` inside ``module`` (may be empty)."""
+    return [m for m in module.modules() if isinstance(m, PartitionedEmbedding)]

@@ -77,10 +77,22 @@ class Optimizer:
         self._update(param)
 
     def _param_state(self, param: Parameter) -> Dict[str, np.ndarray]:
-        """Per-parameter optimiser state (allocated on first use)."""
+        """Per-parameter optimiser state (allocated on first use).
+
+        Parameters that page their state to disk — the bucket parameters of a
+        :class:`~repro.nn.partitioned.PartitionedEmbedding`, whose Adam /
+        Adagrad moment slabs are evicted alongside their bucket — expose a
+        ``restore_opt_state(optimizer, state)`` hook.  It is invoked exactly
+        when a fresh state dict is allocated, so a bucket whose state was
+        paged out resumes from its persisted buffers instead of silently
+        restarting from zeros.
+        """
         key = id(param)
         if key not in self.state:
             self.state[key] = {}
+            restore = getattr(param, "restore_opt_state", None)
+            if restore is not None:
+                restore(self, self.state[key])
         return self.state[key]
 
     def set_lr(self, lr: float) -> None:

@@ -1,0 +1,83 @@
+"""Entity-range partitioning shared by the nn, data, and serving layers.
+
+A partitioned model splits its ``(n_entities, d)`` table into ``P`` contiguous
+row buckets.  The same arithmetic — which bucket does entity ``e`` live in,
+what row range does bucket ``k`` cover — is needed by the embedding table
+(:class:`~repro.nn.partitioned.PartitionedEmbedding`), the bucket-pair batch
+schedule (:mod:`repro.data.partition_schedule`), and the checkpoint manifest,
+so it lives in this tiny dependency-free module all three import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EntityPartition:
+    """Range partition of ``n_entities`` rows into ``n_partitions`` buckets.
+
+    Bucket ``k`` holds rows ``[k * bucket_size, min((k + 1) * bucket_size,
+    n_entities))``; every bucket except possibly the last has exactly
+    ``bucket_size`` rows.
+    """
+
+    n_entities: int
+    n_partitions: int
+
+    def __post_init__(self) -> None:
+        if self.n_entities <= 0:
+            raise ValueError(f"n_entities must be positive, got {self.n_entities}")
+        if not 1 <= self.n_partitions <= self.n_entities:
+            raise ValueError(
+                f"n_partitions must be in [1, n_entities={self.n_entities}], "
+                f"got {self.n_partitions}"
+            )
+        # Ceil-sized buckets must all be non-empty: with e.g. n=5, P=4 the
+        # bucket size is 2 and bucket 3 would start past the last row.  Reject
+        # with the largest P that still fills every bucket.
+        if (self.n_partitions - 1) * self.bucket_size >= self.n_entities:
+            largest = -(-self.n_entities // self.bucket_size)
+            raise ValueError(
+                f"{self.n_partitions} partitions of {self.bucket_size} rows "
+                f"cannot all be filled from {self.n_entities} entities; use "
+                f"at most {largest} partitions"
+            )
+
+    @property
+    def bucket_size(self) -> int:
+        """Rows per bucket (the final bucket may hold fewer)."""
+        return -(-self.n_entities // self.n_partitions)
+
+    def bucket_of(self, entity_ids: np.ndarray) -> np.ndarray:
+        """Bucket index of each entity id (vectorised)."""
+        return np.asarray(entity_ids, dtype=np.int64) // self.bucket_size
+
+    def bucket_range(self, bucket: int) -> Tuple[int, int]:
+        """Half-open row range ``[lo, hi)`` covered by ``bucket``."""
+        if not 0 <= bucket < self.n_partitions:
+            raise IndexError(
+                f"bucket {bucket} out of range [0, {self.n_partitions})"
+            )
+        lo = bucket * self.bucket_size
+        return lo, min(lo + self.bucket_size, self.n_entities)
+
+    def bucket_rows(self, bucket: int) -> int:
+        """Number of rows in ``bucket``."""
+        lo, hi = self.bucket_range(bucket)
+        return hi - lo
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """All bucket row ranges, in bucket order."""
+        return [self.bucket_range(k) for k in range(self.n_partitions)]
+
+    def to_dict(self) -> dict:
+        return {"n_entities": self.n_entities, "n_partitions": self.n_partitions}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EntityPartition":
+        return cls(n_entities=int(payload["n_entities"]),
+                   n_partitions=int(payload["n_partitions"]))

@@ -1,0 +1,125 @@
+"""Blocked ranking and top-k selection shared by models and serving.
+
+Three pieces of logic used to live twice — once as static helpers on
+:class:`~repro.models.base.KGEModel` and once re-implemented inside
+:mod:`repro.serving.engine`:
+
+* :func:`top_k` — O(N) ``argpartition`` selection of the ``k`` smallest
+  scores, ordered ascending;
+* :func:`l2_distance_matrix` — pairwise L2 distances through one GEMM;
+* :func:`candidate_expansion_scores` — the generic "expand every entity as a
+  candidate and score the grid in chunks" ranking fallback.
+
+They now live here, once; :class:`KGEModel` keeps thin delegating wrappers
+for API compatibility and the serving engine imports these directly.  The
+module additionally provides :func:`nearest_rows`, the blocked
+embedding-space kNN used to serve ``nearest_entities`` against tables that
+are never densified (partitioned models).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+import numpy as np
+
+
+def top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest scores, ordered ascending.
+
+    ``argpartition`` selects the top-k in O(N), then only those k entries are
+    sorted — the serving-time win over a full O(N log N) ``argsort``.
+    """
+    n = scores.shape[0]
+    k = max(0, min(int(k), n))
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= n:
+        return np.argsort(scores, kind="stable").astype(np.int64)
+    selected = np.argpartition(scores, k - 1)[:k]
+    # Lexsort orders the selected subset stably by (score, index).  Which of
+    # several candidates tied exactly at the k-th score make the cut is up to
+    # argpartition, matching np.argsort's own unspecified tie order.
+    order = np.lexsort((selected, scores[selected]))
+    return selected[order].astype(np.int64)
+
+
+def l2_distance_matrix(queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Pairwise L2 distances ``(B, N)`` through one GEMM.
+
+    ``||q − t||² = ||q||² − 2 q·t + ||t||²`` avoids materialising the
+    ``(B, N, d)`` diff tensor; shared by the closed-form ranking path
+    (``SpTransE``), the serving engine's embedding-space kNN, and the
+    per-bucket sweeps over partitioned tables.
+    """
+    sq = (queries ** 2).sum(axis=1)[:, None] + (targets ** 2).sum(axis=1)[None, :]
+    sq -= 2.0 * (queries @ targets.T)
+    # Cancellation can leave tiny negatives where q ≈ t.
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq + 1e-12)
+
+
+def candidate_expansion_scores(
+    first: np.ndarray,
+    second: np.ndarray,
+    position: str,
+    n_entities: int,
+    score_triples: Callable[..., np.ndarray],
+    chunk_size: int,
+) -> np.ndarray:
+    """Candidate-expansion ranking shared by the two ``score_all_*`` fallbacks.
+
+    The whole candidate grid is materialised with ``np.repeat``/``np.tile``
+    in blocks of query rows (rather than one Python-level ``column_stack``
+    per query), sized so each block stays within ``chunk_size`` triples.
+    ``position`` selects whether the tiled candidates stand in for the tail
+    (``first``/``second`` are heads/relations) or the head (``first``/
+    ``second`` are relations/tails).
+    """
+    n = int(n_entities)
+    b = first.shape[0]
+    candidates = np.arange(n, dtype=np.int64)
+    out = np.empty((b, n), dtype=np.float64)
+    rows_per_block = max(1, int(chunk_size) // n)
+    for start in range(0, b, rows_per_block):
+        stop = min(b, start + rows_per_block)
+        rows = stop - start
+        expanded_first = np.repeat(first[start:stop], n)
+        expanded_second = np.repeat(second[start:stop], n)
+        tiled = np.tile(candidates, rows)
+        if position == "tail":
+            triples = np.column_stack([expanded_first, expanded_second, tiled])
+        else:
+            triples = np.column_stack([tiled, expanded_first, expanded_second])
+        out[start:stop] = score_triples(
+            triples, chunk_size=chunk_size).reshape(rows, n)
+    return out
+
+
+def nearest_rows(query: np.ndarray,
+                 blocks: Iterable[Tuple[int, np.ndarray]],
+                 k: int,
+                 exclude: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Blocked embedding-space kNN: the ``k`` rows closest to ``query``.
+
+    ``blocks`` yields ``(start_row, block)`` pairs (the
+    :meth:`~repro.nn.table.EmbeddingTable.iter_blocks` contract), so the full
+    table is never materialised — each block contributes its local top-k and
+    the running candidate set is re-selected, keeping memory O(block + k).
+    Returns ``(indices, distances)`` ascending; ``exclude`` drops one row id
+    (the query itself).
+    """
+    best_idx = np.empty(0, dtype=np.int64)
+    best_dist = np.empty(0, dtype=np.float64)
+    q = np.asarray(query, dtype=np.float64)[None, :]
+    for start, block in blocks:
+        dist = l2_distance_matrix(q, block)[0]
+        idx = np.arange(start, start + block.shape[0], dtype=np.int64)
+        if exclude is not None and start <= exclude < start + block.shape[0]:
+            dist[exclude - start] = np.inf
+        merged_idx = np.concatenate([best_idx, idx])
+        merged_dist = np.concatenate([best_dist, dist])
+        keep = top_k(merged_dist, k)
+        best_idx, best_dist = merged_idx[keep], merged_dist[keep]
+    finite = np.isfinite(best_dist)
+    return best_idx[finite], best_dist[finite]

@@ -73,6 +73,7 @@ class ModelCapabilities:
     accepts_backend: bool = False
     accepts_dissimilarity: bool = False
     supports_sparse_grads: bool = False
+    accepts_partitions: bool = False
     formulation_tag: str = ""
     default_dissimilarity: Optional[str] = None
 
@@ -82,6 +83,7 @@ class ModelCapabilities:
             "accepts_backend": self.accepts_backend,
             "accepts_dissimilarity": self.accepts_dissimilarity,
             "supports_sparse_grads": self.supports_sparse_grads,
+            "accepts_partitions": self.accepts_partitions,
             "formulation_tag": self.formulation_tag,
             "default_dissimilarity": self.default_dissimilarity,
         }
@@ -109,6 +111,7 @@ def register_model(name: str, formulation: str, *,
                    accepts_backend: bool = False,
                    accepts_dissimilarity: bool = False,
                    supports_sparse_grads: bool = False,
+                   accepts_partitions: bool = False,
                    formulation_tag: str = "",
                    default_dissimilarity: Optional[str] = None) -> Callable[[Type], Type]:
     """Class decorator registering a KGE model under ``(name, formulation)``.
@@ -135,6 +138,7 @@ def register_model(name: str, formulation: str, *,
         accepts_backend=accepts_backend,
         accepts_dissimilarity=accepts_dissimilarity,
         supports_sparse_grads=supports_sparse_grads,
+        accepts_partitions=accepts_partitions,
         formulation_tag=formulation_tag,
         default_dissimilarity=default_dissimilarity,
     )
@@ -224,6 +228,7 @@ class ModelSpec:
     backend: Optional[str] = None
     dissimilarity: Optional[str] = None
     sparse_grads: bool = False
+    partitions: Optional[int] = None
     version: int = field(default=1, compare=False)
 
     def __post_init__(self) -> None:
@@ -240,6 +245,14 @@ class ModelSpec:
             setattr(self, attr, value)
         if self.relation_dim is not None:
             self.relation_dim = int(self.relation_dim)
+        if self.partitions is not None:
+            self.partitions = int(self.partitions)
+            if self.partitions < 1:
+                raise ValueError(f"partitions must be >= 1, got {self.partitions}")
+            if self.partitions == 1:
+                # P=1 is the unpartitioned layout; normalise so specs compare
+                # and round-trip canonically.
+                self.partitions = None
 
     def capabilities(self) -> ModelCapabilities:
         """Capability metadata of the registered class this spec names."""
@@ -262,6 +275,8 @@ class ModelSpec:
             out["dissimilarity"] = self.dissimilarity
         if self.sparse_grads:
             out["sparse_grads"] = True
+        if self.partitions is not None:
+            out["partitions"] = self.partitions
         return out
 
     def replace(self, **kwargs) -> "ModelSpec":
@@ -285,6 +300,7 @@ class ModelSpec:
         if missing:
             raise ValueError(f"model spec is missing required keys: {missing}")
         relation_dim = payload.get("relation_dim")
+        partitions = payload.get("partitions")
         return cls(
             model=str(payload["model"]),
             formulation=str(payload["formulation"]),
@@ -296,6 +312,7 @@ class ModelSpec:
             dissimilarity=(str(payload["dissimilarity"])
                            if payload.get("dissimilarity") is not None else None),
             sparse_grads=bool(payload.get("sparse_grads", False)),
+            partitions=int(partitions) if partitions is not None else None,  # type: ignore[arg-type]
             version=int(payload.get("spec_version", 1)),  # type: ignore[arg-type]
         )
 
@@ -334,6 +351,15 @@ def build_model(spec: ModelSpec, rng=None):
                 f"dissimilarity, but the spec sets dissimilarity={spec.dissimilarity!r}"
             )
         kwargs["dissimilarity"] = spec.dissimilarity
+
+    if spec.partitions is not None:
+        if not caps.accepts_partitions:
+            raise ValueError(
+                f"model {spec.model!r} ({spec.formulation}) does not support "
+                f"partitioned entity tables, but the spec sets "
+                f"partitions={spec.partitions}"
+            )
+        kwargs["partitions"] = spec.partitions
 
     if spec.sparse_grads and not caps.supports_sparse_grads:
         raise ValueError(
@@ -375,4 +401,7 @@ def spec_from_model(model) -> ModelSpec:
                        if caps.accepts_dissimilarity else None),
         sparse_grads=bool(getattr(model, "sparse_grads", False)
                           and caps.supports_sparse_grads),
+        partitions=(int(model.n_partitions)
+                    if caps.accepts_partitions and model.n_partitions > 1
+                    else None),
     )

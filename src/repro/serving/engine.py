@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import ranking
 from repro.models.base import KGEModel
 from repro.registry import ModelSpec, spec_from_model
 from repro.serving.cache import LRUCache
@@ -62,10 +63,10 @@ def _result_from_row(scores_row: np.ndarray, k: int,
         scores_row[exclude] = np.inf
         # Masked candidates sort last; trim them off rather than returning
         # +inf rows, so a filtered answer contains only real predictions.
-        idx = KGEModel._top_k(scores_row, k)
+        idx = ranking.top_k(scores_row, k)
         idx = idx[np.isfinite(scores_row[idx])]
     else:
-        idx = KGEModel._top_k(scores_row, k)
+        idx = ranking.top_k(scores_row, k)
     return TopKResult(entities=tuple(int(i) for i in idx),
                       scores=tuple(float(scores_row[i]) for i in idx))
 
@@ -215,14 +216,27 @@ class InferenceEngine:
         found, value = self.cache.get(key)
         if not found:
             with self._score_lock:
-                ent = self._entity_snapshot_locked()
-                distances = KGEModel.l2_distance_matrix(ent[entity][None, :], ent)[0]
-                distances[entity] = np.inf
-                idx = KGEModel._top_k(distances, k)
-                idx = idx[np.isfinite(distances[idx])]
-                value = TopKResult(
-                    entities=tuple(int(i) for i in idx),
-                    scores=tuple(float(distances[i]) for i in idx))
+                if self.model.n_partitions > 1:
+                    # Partitioned tables are never densified: fault buckets in
+                    # lazily and keep a running top-k across blocks.
+                    query = self.model.entity_embedding_rows(
+                        np.array([entity]))[0]
+                    idx, distances_sel = ranking.nearest_rows(
+                        query, self.model.iter_entity_embedding_blocks(),
+                        k, exclude=entity)
+                    value = TopKResult(
+                        entities=tuple(int(i) for i in idx),
+                        scores=tuple(float(d) for d in distances_sel))
+                else:
+                    ent = self._entity_snapshot_locked()
+                    distances = ranking.l2_distance_matrix(
+                        ent[entity][None, :], ent)[0]
+                    distances[entity] = np.inf
+                    idx = ranking.top_k(distances, k)
+                    idx = idx[np.isfinite(distances[idx])]
+                    value = TopKResult(
+                        entities=tuple(int(i) for i in idx),
+                        scores=tuple(float(distances[i]) for i in idx))
                 self.cache.put(key, value)
         with self._stats_lock:
             self.queries_served += 1

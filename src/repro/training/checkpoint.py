@@ -11,12 +11,19 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.models.base import KGEModel
+from repro.nn.partitioned import (
+    PARTITION_MANIFEST,
+    PartitionedEmbedding,
+    bucket_filename,
+    partitioned_tables,
+)
 from repro.optim.optimizer import Optimizer
 from repro.registry import ModelSpec, UnknownModelError, build_model, spec_from_model
 
@@ -30,6 +37,21 @@ class Checkpoint:
     epoch: int = 0
     losses: List[float] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Path of the ``.npz`` file this checkpoint was read from (``None`` for
+    #: checkpoints built in memory).  Partitioned restores use it to locate
+    #: the ``weights/`` bucket directory next to the checkpoint.
+    source_path: Optional[str] = None
+
+    @property
+    def partition_manifest(self) -> Optional[Dict[str, object]]:
+        """The partitioned-entity-table manifest, when this checkpoint has one.
+
+        Checkpoints of partitioned models keep entity weights out of the
+        ``.npz`` (they live as ``weights/entities.bucket<k>.npy`` files next
+        to it) and record the bucket layout here.
+        """
+        manifest = self.metadata.get("partitioned")
+        return manifest if isinstance(manifest, dict) else None
 
     def spec(self) -> ModelSpec:
         """The :class:`~repro.registry.ModelSpec` this checkpoint was written with.
@@ -77,13 +99,35 @@ class Checkpoint:
         )
 
 
-def _flatten_optimizer_state(optimizer: Optimizer, model: KGEModel) -> Dict[str, np.ndarray]:
-    """Key optimiser buffers by parameter name rather than object identity."""
+def _partitioned_table(model: KGEModel) -> Tuple[Optional[PartitionedEmbedding], Set[str]]:
+    """The model's partitioned table (if any) and its bucket parameter names."""
+    tables = partitioned_tables(model)
+    if not tables:
+        return None, set()
+    if len(tables) > 1:
+        raise NotImplementedError(
+            "checkpointing supports at most one partitioned table per model"
+        )
+    bucket_ids = {id(p) for p in tables[0].bucket_parameters()}
+    names = {name for name, p in model.named_parameters() if id(p) in bucket_ids}
+    return tables[0], names
+
+
+def _flatten_optimizer_state(optimizer: Optimizer, model: KGEModel,
+                             skip_names: Optional[Set[str]] = None
+                             ) -> Dict[str, np.ndarray]:
+    """Key optimiser buffers by parameter name rather than object identity.
+
+    ``skip_names`` excludes parameters whose state lives elsewhere — bucket
+    parameters page their Adam/Adagrad slabs to per-bucket files, and pulling
+    them all into the ``.npz`` would densify exactly what partitioning keeps
+    out of memory.
+    """
     name_by_id = {id(p): name for name, p in model.named_parameters()}
     flat: Dict[str, np.ndarray] = {}
     for key, buffers in optimizer.state.items():
         param_name = name_by_id.get(key)
-        if param_name is None:
+        if param_name is None or (skip_names and param_name in skip_names):
             continue
         for buffer_name, value in buffers.items():
             if isinstance(value, np.ndarray):
@@ -116,11 +160,17 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
     hyperparameters.  Reserved keys (``model_spec``, ``epoch``, ...) cannot be
     overridden.
     """
+    table, bucket_names = _partitioned_table(model)
     arrays: Dict[str, np.ndarray] = {}
-    for name, value in model.state_dict().items():
-        arrays[f"model::{name}"] = value
+    for name, param in model.named_parameters():
+        if name in bucket_names:
+            # Entity buckets never enter the npz: they are mirrored as
+            # memory-bounded ``weights/entities.bucket<k>.npy`` files below.
+            continue
+        arrays[f"model::{name}"] = param.data.copy()
     if optimizer is not None:
-        for name, value in _flatten_optimizer_state(optimizer, model).items():
+        for name, value in _flatten_optimizer_state(
+                optimizer, model, skip_names=bucket_names).items():
             arrays[f"optim::{name}"] = value
     try:
         spec_payload: Optional[Dict[str, object]] = spec_from_model(model).to_dict()
@@ -129,6 +179,8 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
         # they just cannot be auto-reconstructed by ``model_from_checkpoint``.
         spec_payload = None
     metadata = dict(extra_metadata) if extra_metadata else {}
+    if table is not None:
+        metadata["partitioned"] = table.manifest()
     metadata.update({
         "model_spec": spec_payload,
         "model_config": model.config(),
@@ -142,6 +194,10 @@ def save_checkpoint(path: str, model: KGEModel, optimizer: Optional[Optimizer] =
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **arrays)
+    if table is not None:
+        # A partitioned checkpoint is only complete with its bucket files:
+        # mirror them (one at a time, bounded memory) next to the npz.
+        save_weight_files(directory, model)
     return path if path.endswith(".npz") else path + ".npz"
 
 
@@ -160,11 +216,31 @@ def save_weight_files(directory: str, model: KGEModel) -> Dict[str, str]:
     The files duplicate the arrays already inside ``checkpoint.npz`` in a
     memory-mappable layout (npz members are compressed zip entries and cannot
     be mapped).  Returns ``{parameter_name: file_path}``.
+
+    For a model backed by a :class:`~repro.nn.partitioned.PartitionedEmbedding`
+    the entity buckets are written as ``weights/entities.bucket<k>.npy``
+    (streamed file copies from the table's own storage — the full table never
+    enters memory) together with the ``weights/partition.json`` manifest; all
+    other parameters keep the flat ``<name>.npy`` layout.  Loaders treat a
+    weights directory *without* a manifest as the legacy single-bucket dense
+    layout, so pre-partitioning artifacts stay loadable unchanged.
     """
     weights_dir = os.path.join(directory, ARTIFACT_WEIGHTS)
     os.makedirs(weights_dir, exist_ok=True)
     written: Dict[str, str] = {}
+    table, bucket_names = _partitioned_table(model)
+    if table is not None:
+        table.flush()
+        for k in range(table.n_partitions):
+            source = os.path.join(table.directory, bucket_filename(k))
+            target = os.path.join(weights_dir, bucket_filename(k))
+            if os.path.abspath(source) != os.path.abspath(target):
+                shutil.copyfile(source, target)
+            written[f"entities.bucket{k}"] = target
+        table.write_manifest(weights_dir)
     for name, param in model.named_parameters():
+        if name in bucket_names:
+            continue
         path = os.path.join(weights_dir, f"{name}.npy")
         np.save(path, np.ascontiguousarray(param.data))
         written[name] = path
@@ -220,6 +296,7 @@ def load_checkpoint(path: str) -> Checkpoint:
         epoch=int(metadata.get("epoch", 0)),
         losses=[float(x) for x in metadata.get("losses", [])],
         metadata=metadata,
+        source_path=os.path.abspath(path),
     )
 
 
@@ -230,9 +307,20 @@ def model_from_checkpoint(checkpoint: Checkpoint, rng=0) -> KGEModel:
     :func:`repro.registry.build_model`, so every recorded hyperparameter —
     SpMM backend, dissimilarity, relation dimension — is restored faithfully
     rather than falling back to constructor defaults.
+
+    Partitioned checkpoints are rebuilt under
+    :func:`repro.nn.init.skip_init` (nothing to initialise — the entity
+    buckets attach to the ``weights/`` files next to the checkpoint and fault
+    in lazily; the remaining parameters load from the npz as usual).
     """
     spec = checkpoint.spec()
-    model = build_model(spec, rng=rng)
+    if checkpoint.partition_manifest is not None:
+        from repro.nn.init import skip_init
+
+        with skip_init():
+            model = build_model(spec, rng=rng)
+    else:
+        model = build_model(spec, rng=rng)
     restore_into(checkpoint, model)
     return model
 
@@ -264,14 +352,33 @@ def load_model(path: str, rng=0, mmap: bool = False) -> KGEModel:
 
 def _model_from_weight_files(checkpoint_file: str, weights_dir: str,
                              rng=0) -> KGEModel:
-    """Build a model whose parameters are read-only maps of on-disk arrays."""
+    """Build a model whose parameters are read-only maps of on-disk arrays.
+
+    With a ``partition.json`` manifest present, the entity buckets attach to
+    their ``entities.bucket<k>.npy`` files and fault in lazily (LRU-bounded —
+    stricter than mmap: address space, not just RSS, stays bounded); the
+    remaining parameters are memory-mapped ``<name>.npy`` files as before.
+    Without a manifest the directory is the legacy single-bucket dense
+    layout and every parameter is mapped.
+    """
     from repro.nn.init import skip_init
 
     metadata = read_checkpoint_metadata(checkpoint_file)
     spec = Checkpoint(model_state={}, metadata=metadata).spec()
     with skip_init():
         model = build_model(spec, rng=rng)
+    bucket_names: Set[str] = set()
+    if os.path.exists(os.path.join(weights_dir, PARTITION_MANIFEST)):
+        table, bucket_names = _partitioned_table(model)
+        if table is None:
+            raise ValueError(
+                f"{weights_dir} carries a {PARTITION_MANIFEST} but the "
+                "checkpointed spec does not describe a partitioned model"
+            )
+        table.attach_storage(weights_dir, read_only=True)
     for name, param in model.named_parameters():
+        if name in bucket_names:
+            continue
         weight_path = os.path.join(weights_dir, f"{name}.npy")
         if not os.path.exists(weight_path):
             raise FileNotFoundError(
@@ -303,7 +410,10 @@ def restore_into(checkpoint: Checkpoint, model: KGEModel,
                     f"checkpoint/model mismatch for {key!r}: "
                     f"checkpoint has {saved[key]!r}, model has {current.get(key)!r}"
                 )
-    model.load_state_dict(checkpoint.model_state)
+    if checkpoint.partition_manifest is not None:
+        _restore_partitioned(checkpoint, model, strict=strict)
+    else:
+        model.load_state_dict(checkpoint.model_state)
     if optimizer is not None:
         if checkpoint.optimizer_state:
             _restore_optimizer_state(optimizer, model, checkpoint.optimizer_state)
@@ -314,3 +424,49 @@ def restore_into(checkpoint: Checkpoint, model: KGEModel,
         # from step zero.
         optimizer._step_count = int(checkpoint.metadata.get(
             "optimizer_step_count", optimizer._step_count))
+
+
+def _restore_partitioned(checkpoint: Checkpoint, model: KGEModel,
+                         strict: bool = True) -> None:
+    """Restore a partitioned checkpoint: npz params + attached bucket files.
+
+    The npz holds every parameter except the entity buckets; those attach
+    (read-only, lazily faulted) to the ``weights/`` directory next to the
+    checkpoint file.  ``strict`` verifies the npz covers exactly the
+    non-bucket parameters.
+    """
+    table, bucket_names = _partitioned_table(model)
+    if table is None:
+        raise ValueError(
+            "checkpoint was written by a partitioned model but the target "
+            "model has no partitioned table; rebuild it with the checkpoint's "
+            "spec (model_from_checkpoint does this automatically)"
+        )
+    own = {name: param for name, param in model.named_parameters()
+           if name not in bucket_names}
+    state = checkpoint.model_state
+    missing = set(own) - set(state)
+    unexpected = set(state) - set(own)
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"state_dict mismatch: missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for name, param in own.items():
+        if name not in state:
+            continue
+        value = np.asarray(state[name], dtype=np.float64)
+        if value.shape != tuple(param.shape):
+            raise ValueError(
+                f"shape mismatch for {name!r}: expected {tuple(param.shape)}, "
+                f"got {value.shape}"
+            )
+        param.data = np.array(value, copy=True)
+    if checkpoint.source_path is None:
+        raise ValueError(
+            "partitioned checkpoint has no source path; load it with "
+            "load_checkpoint(path) so the weights/ directory can be located"
+        )
+    weights_dir = os.path.join(os.path.dirname(checkpoint.source_path),
+                               ARTIFACT_WEIGHTS)
+    table.attach_storage(weights_dir, read_only=True)

@@ -190,9 +190,19 @@ def _worker_main(rank: int, world: int, model: KGEModel,
                  batch_factory: BatchFactory, config: TrainingConfig,
                  epochs: int, start_epoch: int, conn) -> None:
     """Worker replica: lockstep shard compute + merged-gradient updates."""
+    from repro.nn.partitioned import partitioned_tables
+
+    tables = partitioned_tables(model)
     try:
+        # A forked replica shares the parent's bucket *files*; give each
+        # partitioned table private storage so concurrent replicas never
+        # write back into each other's buckets.
+        for table in tables:
+            table.rehome()
         criterion = MarginRankingLoss(margin=config.margin)
         optimizer = build_optimizer(config.optimizer, model, config.learning_rate)
+        if hasattr(model, "bind_optimizer"):
+            model.bind_optimizer(optimizer)
         batches = batch_factory()
         replay_epochs(batches, start_epoch)
         for epoch in range(start_epoch, start_epoch + epochs):
@@ -213,6 +223,8 @@ def _worker_main(rank: int, world: int, model: KGEModel,
 
         conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
     finally:
+        for table in tables:
+            table.close()  # removes the replica's private bucket storage
         conn.close()
 
 
@@ -279,8 +291,12 @@ class MultiprocessTrainer:
         criterion = MarginRankingLoss(margin=self.config.margin)
         optimizer = build_optimizer(self.config.optimizer, self.model,
                                     self.config.learning_rate)
+        if hasattr(self.model, "bind_optimizer"):
+            self.model.bind_optimizer(optimizer)
         self.optimizer = optimizer
-        shapes = [tuple(p.data.shape) for p in self.model.parameters()]
+        # ``p.shape`` rather than ``p.data.shape``: bucket parameters of a
+        # partitioned table answer shape metadata without faulting their slab.
+        shapes = [tuple(p.shape) for p in self.model.parameters()]
 
         # Fork the worker replicas *before* rank 0 opens its own batch
         # pipeline, so no SQLite handle or sampler state crosses a fork.

@@ -167,6 +167,11 @@ class Trainer:
         self.optimizer = optimizer if optimizer is not None else build_optimizer(
             self.config.optimizer, model, self.config.learning_rate
         )
+        # Partition-backed models attach the optimiser to their embedding
+        # table so per-bucket optimiser state pages in and out with its
+        # bucket; a no-op for everything else.
+        if hasattr(model, "bind_optimizer"):
+            model.bind_optimizer(self.optimizer)
         self.criterion = criterion if criterion is not None else MarginRankingLoss(
             margin=self.config.margin
         )

@@ -1,0 +1,236 @@
+"""PartitionedEmbedding mechanics: residency, write-back, storage lifecycle."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    DenseSliceTable,
+    Embedding,
+    MemoryMappedEmbedding,
+    PartitionedEmbedding,
+    StackedEmbedding,
+    partitioned_tables,
+)
+from repro.nn.partitioned import PARTITION_MANIFEST, bucket_filename
+from repro.optim import Adam
+from repro.partition import EntityPartition
+from repro.sparse.rowsparse import RowSparseGrad
+
+
+N, R, D = 103, 7, 12
+
+
+@pytest.fixture
+def table(tmp_path):
+    t = PartitionedEmbedding(N, R, D, partitions=4, rng=42,
+                             directory=str(tmp_path / "buckets"), max_resident=2)
+    yield t
+    t.close()
+
+
+class TestEntityPartition:
+    def test_ranges_cover_all_rows(self):
+        part = EntityPartition(N, 4)
+        ranges = part.ranges()
+        assert ranges[0][0] == 0 and ranges[-1][1] == N
+        assert all(hi == lo_next for (_, hi), (lo_next, _) in zip(ranges, ranges[1:]))
+
+    def test_bucket_of_matches_ranges(self):
+        part = EntityPartition(N, 4)
+        ids = np.arange(N)
+        buckets = part.bucket_of(ids)
+        for k, (lo, hi) in enumerate(part.ranges()):
+            assert np.all(buckets[lo:hi] == k)
+
+    def test_invalid_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            EntityPartition(10, 0)
+        with pytest.raises(ValueError):
+            EntityPartition(10, 11)
+
+    def test_layouts_with_empty_trailing_buckets_rejected(self):
+        """n=5, P=4 would give ceil-sized buckets (2,2,1,<empty>) — rejected
+        with a usable suggestion instead of a negative-size crash downstream."""
+        with pytest.raises(ValueError, match="at most 3 partitions"):
+            EntityPartition(5, 4)
+        # the suggested count is valid and covers every row
+        part = EntityPartition(5, 3)
+        assert [part.bucket_rows(k) for k in range(3)] == [2, 2, 1]
+
+    def test_uneven_final_bucket_supported(self):
+        from repro.nn import PartitionedEmbedding
+
+        table = PartitionedEmbedding(7, 2, 4, partitions=4, rng=0)
+        assert [p.shape[0] for p in table.bucket_parameters()] == [2, 2, 2, 1]
+        assert table.to_matrix().shape == (7, 4)
+        table.close()
+
+
+class TestInitParity:
+    def test_matches_stacked_embedding_bitwise(self, table):
+        """The partitioned init consumes the same Xavier stream as a stacked
+        table of the same (N + R, d) shape, bucket by bucket."""
+        stacked = StackedEmbedding(N, R, D, rng=42)
+        assert np.array_equal(table.to_matrix(), stacked.entity_embeddings())
+        assert np.array_equal(table.relations.data, stacked.relation_embeddings())
+
+
+class TestResidency:
+    def test_lru_bound_holds(self, table):
+        for k in (0, 1, 2, 3, 0, 2):
+            table._fault(k)
+            assert len(table.resident_buckets()) <= 2
+        assert table.stats()["peak_resident"] <= 2
+
+    def test_read_rows_across_buckets(self, table):
+        stacked = StackedEmbedding(N, R, D, rng=42)
+        ids = np.array([0, 101, 30, 77, 0])
+        assert np.array_equal(table.read_rows(ids),
+                              stacked.entity_embeddings()[ids])
+
+    def test_writes_survive_eviction(self, table):
+        table.write_rows(np.array([0, 102]), np.full((2, D), 3.5))
+        for k in range(4):  # churn every bucket through the 2-slot LRU
+            table._fault(k)
+        assert np.array_equal(table.read_rows(np.array([0, 102])),
+                              np.full((2, D), 3.5))
+        assert table.stats()["writebacks"] >= 1
+
+    def test_iter_blocks_covers_every_row_in_order(self, table):
+        starts, total = [], 0
+        for start, block in table.iter_blocks(block_rows=10):
+            starts.append(start)
+            total += block.shape[0]
+        assert total == N
+        assert starts == sorted(starts)
+
+    def test_bucket_parameter_metadata_without_fault(self, table):
+        param = table.bucket_parameters()[3]
+        faults_before = table.stats()["faults"]
+        assert param.shape == (table.partition.bucket_rows(3), D)
+        assert param.nbytes == param.size * 8
+        assert table.stats()["faults"] == faults_before
+
+    def test_data_access_faults_bucket_in(self, table):
+        param = table.bucket_parameters()[1]
+        assert not param.resident
+        _ = param.data
+        assert param.resident
+
+
+class TestStorageLifecycle:
+    def test_manifest_roundtrip_and_attach(self, table, tmp_path):
+        target = tmp_path / "exported"
+        target.mkdir()
+        table.flush()
+        import shutil
+
+        for k in range(4):
+            shutil.copyfile(os.path.join(table.directory, bucket_filename(k)),
+                            target / bucket_filename(k))
+        table.write_manifest(str(target))
+        assert (target / PARTITION_MANIFEST).exists()
+
+        before = table.to_matrix()
+        other = PartitionedEmbedding(N, R, D, partitions=4, rng=0,
+                                     max_resident=2)
+        other.attach_storage(str(target), read_only=True)
+        assert np.array_equal(other.to_matrix(), before)
+        with pytest.raises(RuntimeError):
+            other.write_rows(np.array([0]), np.zeros((1, D)))
+        with pytest.raises(RuntimeError):
+            other.renormalize_()
+        other.close()
+        # read-only attach must not have mutated the exported files
+        again = PartitionedEmbedding(N, R, D, partitions=4, rng=0)
+        again.attach_storage(str(target))
+        assert np.array_equal(again.to_matrix(), before)
+        again.close()
+
+    def test_attach_rejects_mismatched_geometry(self, table, tmp_path):
+        other = PartitionedEmbedding(N, R, D, partitions=2, rng=0)
+        table.write_manifest(table.directory)
+        with pytest.raises(ValueError):
+            other.attach_storage(table.directory)
+        other.close()
+
+    def test_rehome_isolates_storage(self, table, tmp_path):
+        original_dir = table.directory
+        new_dir = table.rehome(str(tmp_path / "rehomed"))
+        assert new_dir != original_dir
+        table.write_rows(np.array([0]), np.full((1, D), 9.0))
+        table.flush()
+        # the original file is untouched by post-rehome writes
+        original = np.load(os.path.join(original_dir, bucket_filename(0)))
+        assert not np.array_equal(original[0], np.full(D, 9.0))
+
+    def test_renormalize_matches_stacked(self, table):
+        stacked = StackedEmbedding(N, R, D, rng=42)
+        stacked.renormalize_entities(max_norm=0.25, p=2)
+        table.renormalize_(max_norm=0.25, p=2)
+        assert np.array_equal(table.to_matrix(), stacked.entity_embeddings())
+
+
+class TestOptimizerStatePaging:
+    def test_adam_state_pages_with_bucket(self, table):
+        param = table.bucket_parameters()[0]
+        optimizer = Adam([param, table.relations], lr=0.1)
+        table.attach_optimizer(optimizer)
+        grad = RowSparseGrad(np.array([0, 1]), np.ones((2, D)), param.shape)
+        param.accumulate_grad(grad)
+        optimizer.step()
+        m_before = optimizer.state[id(param)]["m"].copy()
+        # churn bucket 0 out of the resident set: its state must page out
+        for k in (1, 2, 3):
+            table._fault(k)
+        assert id(param) not in optimizer.state
+        # touching the state again restores the persisted buffers
+        restored = optimizer._param_state(param)
+        assert np.array_equal(restored["m"], m_before)
+        assert "row_t" in restored and "t" in restored
+
+
+class TestDenseTableConformance:
+    def test_embedding_implements_table(self):
+        emb = Embedding(20, 6, rng=1)
+        assert emb.n_rows == 20 and emb.n_partitions == 1
+        block_rows = [b.shape[0] for _, b in emb.iter_blocks(block_rows=7)]
+        assert sum(block_rows) == 20
+        ref = emb.weight.data[[3, 5]].copy()
+        assert np.array_equal(emb.read_rows(np.array([3, 5])), ref)
+        emb.write_rows(np.array([0]), np.zeros((1, 6)))
+        assert np.array_equal(emb.weight.data[0], np.zeros(6))
+
+    def test_memmap_implements_table(self):
+        emb = MemoryMappedEmbedding(15, 3, 4, rng=1)
+        try:
+            assert emb.n_rows == 18
+            total = sum(b.shape[0] for _, b in emb.iter_blocks(block_rows=5))
+            assert total == 18
+            emb.write_rows(np.array([2]), np.full((1, 4), 2.0))
+            assert np.array_equal(emb.read_rows(np.array([2])), np.full((1, 4), 2.0))
+        finally:
+            emb.close()
+
+    def test_stacked_exposes_slice_tables(self):
+        stacked = StackedEmbedding(10, 4, 6, rng=1)
+        ent, rel = stacked.entity_table(), stacked.relation_table()
+        assert isinstance(ent, DenseSliceTable)
+        assert ent.n_rows == 10 and rel.n_rows == 4
+        assert np.array_equal(rel.read_rows(np.array([0])),
+                              stacked.relation_embeddings()[[0]])
+        # writes go through to the parameter
+        ent.write_rows(np.array([1]), np.zeros((1, 6)))
+        assert np.array_equal(stacked.entity_embeddings()[1], np.zeros(6))
+
+    def test_partitioned_tables_finder(self, table):
+        class Holder:
+            def modules(self):
+                yield self
+                yield table
+
+        assert partitioned_tables(Holder()) == [table]

@@ -1,0 +1,90 @@
+"""The shared ranking helpers (repro.ranking) and their model/serving wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ranking
+from repro.models.base import KGEModel
+
+
+class TestTopK:
+    def test_matches_argsort(self, rng):
+        scores = rng.standard_normal(200)
+        assert np.array_equal(ranking.top_k(scores, 10),
+                              np.argsort(scores, kind="stable")[:10])
+
+    def test_k_larger_than_n_returns_full_order(self, rng):
+        scores = rng.standard_normal(7)
+        assert np.array_equal(ranking.top_k(scores, 50),
+                              np.argsort(scores, kind="stable"))
+
+    def test_k_zero(self):
+        assert ranking.top_k(np.array([1.0, 2.0]), 0).size == 0
+
+    def test_model_staticmethod_is_the_shared_helper(self):
+        assert KGEModel._top_k is ranking.top_k
+        assert KGEModel.l2_distance_matrix is ranking.l2_distance_matrix
+
+
+class TestL2DistanceMatrix:
+    def test_matches_bruteforce(self, rng):
+        q = rng.standard_normal((5, 8))
+        t = rng.standard_normal((30, 8))
+        brute = np.sqrt(((q[:, None, :] - t[None, :, :]) ** 2).sum(axis=-1) + 1e-12)
+        assert np.allclose(ranking.l2_distance_matrix(q, t), brute, atol=1e-9)
+
+
+class TestCandidateExpansion:
+    def test_matches_direct_scoring(self, small_kg):
+        from repro.models.transe import SpTransE
+
+        model = SpTransE(small_kg.n_entities, small_kg.n_relations, 8, rng=2)
+        heads = np.array([0, 3])
+        relations = np.array([1, 4])
+        generic = ranking.candidate_expansion_scores(
+            heads, relations, position="tail", n_entities=model.n_entities,
+            score_triples=model.score_triples, chunk_size=512)
+        closed_form = model.score_all_tails(heads, relations)
+        assert np.allclose(generic, closed_form, atol=1e-9)
+
+
+class TestNearestRows:
+    def test_blocked_matches_whole_matrix(self, rng):
+        table = rng.standard_normal((50, 6))
+        query = table[7]
+        dist = ranking.l2_distance_matrix(query[None, :], table)[0]
+        dist[7] = np.inf
+        expected = ranking.top_k(dist, 5)
+
+        def blocks(block_rows=12):
+            for start in range(0, 50, block_rows):
+                yield start, table[start:start + block_rows]
+
+        idx, d = ranking.nearest_rows(query, blocks(), 5, exclude=7)
+        assert np.array_equal(idx, expected)
+        assert np.all(np.diff(d) >= 0)
+
+    def test_exclude_never_returned(self, rng):
+        table = rng.standard_normal((20, 4))
+        idx, _ = ranking.nearest_rows(table[3], [(0, table)], 20, exclude=3)
+        assert 3 not in idx.tolist()
+
+
+class TestBlockedRankingOnModels:
+    @pytest.mark.parametrize("dissimilarity", ["L1", "L2"])
+    def test_partitioned_blocked_equals_dense(self, small_kg, dissimilarity):
+        from repro.models.transe import SpTransE
+
+        dense = SpTransE(small_kg.n_entities, small_kg.n_relations, 8, rng=2,
+                         dissimilarity=dissimilarity)
+        part = SpTransE(small_kg.n_entities, small_kg.n_relations, 8, rng=2,
+                        dissimilarity=dissimilarity, partitions=3)
+        heads = np.array([0, 7, 12])
+        relations = np.array([1, 0, 3])
+        assert np.allclose(dense.score_all_tails(heads, relations),
+                           part.score_all_tails(heads, relations), atol=1e-9)
+        assert np.allclose(dense.score_all_heads(relations, heads),
+                           part.score_all_heads(relations, heads), atol=1e-9)
+        part.embeddings.close()
