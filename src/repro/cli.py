@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override model.partitions: shard the entity table "
                           "into P LRU-paged buckets (train, checkpoint, and "
                           "serve without ever materializing the full table)")
+    run.add_argument("--backend", default=None,
+                     help="override model.backend: SpMM backend for sparse "
+                          "models (scipy, numpy, fused, compiled)")
+    run.add_argument("--quantize", default=None, choices=["fp16", "int8"],
+                     help="after training, also write quantized entity bucket "
+                          "files into the artifact (partitioned models only); "
+                          "serve them with InferenceEngine.from_artifact("
+                          "quantized=...) at 2-4x lower resident memory")
     run.add_argument("--quiet", action="store_true")
 
     export = sub.add_parser(
@@ -316,6 +324,8 @@ def _apply_run_overrides(spec: ExperimentSpec,
         spec = spec.replace(model=spec.model.replace(
             partitions=partitions if partitions > 1 else None,
             sparse_grads=spec.model.sparse_grads or partitions > 1))
+    if getattr(args, "backend", None) is not None:
+        spec = spec.replace(model=spec.model.replace(backend=args.backend))
     return spec
 
 
@@ -339,10 +349,18 @@ def _command_run(args: argparse.Namespace) -> int:
                             resume=args.resume).run()
     except (UnknownModelError, ValueError, FileNotFoundError) as exc:
         raise SystemExit(str(exc)) from exc
+    if getattr(args, "quantize", None):
+        from repro.training.checkpoint import save_weight_files
+
+        try:
+            save_weight_files(artifact_dir, result.model, quantize=args.quantize)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     print(json.dumps({"experiment": spec.name,
                       "artifacts": artifact_dir,
                       "dataset": result.dataset_name,
                       "model": result.model.config(),
+                      "quantized": getattr(args, "quantize", None),
                       "metrics": result.metrics},
                      indent=2, default=float))
     return 0

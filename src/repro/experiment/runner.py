@@ -507,13 +507,16 @@ class ExperimentArtifact:
     def checkpoint_path(self) -> str:
         return os.path.join(self.path, ARTIFACT_CHECKPOINT)
 
-    def load_model(self, mmap: bool = False) -> KGEModel:
+    def load_model(self, mmap: bool = False, quantized=None) -> KGEModel:
         """Rebuild the trained model from the artifact's checkpoint.
 
         ``mmap=True`` attaches the parameters to the artifact's on-disk
         weight files instead of densifying them (read-only serving path).
+        ``quantized`` (``"fp16"``/``"int8"``/``"auto"``) serves the quantized
+        bucket files instead — see
+        :func:`repro.training.checkpoint.load_model`.
         """
-        return load_model(self.checkpoint_path, mmap=mmap)
+        return load_model(self.checkpoint_path, mmap=mmap, quantized=quantized)
 
 
 def load_artifact(path: str) -> ExperimentArtifact:

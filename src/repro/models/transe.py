@@ -34,7 +34,7 @@ from repro.ranking import l2_distance_matrix
 from repro.registry import register_model
 from repro.sparse.backends import DEFAULT_BACKEND, get_backend
 from repro.sparse.incidence import IncidenceBuilder, build_hrt_incidence
-from repro.sparse.spmm import _rowsparse_backward, spmm
+from repro.sparse.spmm import rowsparse_backward_for, spmm
 from repro.utils.validation import check_triples
 
 
@@ -149,10 +149,11 @@ class SpTransE(TranslationalModel):
         out = get_backend(self.backend)(A, stacked)
         table = self.embeddings
         n_rows = stacked.shape[0]
+        rowsparse_bwd = rowsparse_backward_for(self.backend)
 
         def backward(grad: np.ndarray) -> None:
             table.scatter_stacked_grad(
-                entity_ids, relation_ids, _rowsparse_backward(A, grad, n_rows))
+                entity_ids, relation_ids, rowsparse_bwd(A, grad, n_rows))
 
         return Tensor._make(out, parents, backward, "spmm[partitioned]")
 
@@ -262,6 +263,54 @@ class SpTransE(TranslationalModel):
         if self.dissimilarity_name == "L1":
             return np.abs(diff).sum(axis=-1)
         return np.sqrt((diff ** 2).sum(axis=-1) + 1e-12)
+
+    # ------------------------------------------------------------------ #
+    # Exact rescoring (two-phase quantized serving)
+    # ------------------------------------------------------------------ #
+    @property
+    def serving_quantized(self) -> Optional[str]:
+        """Quantization mode the entity table is served from (or ``None``)."""
+        if self.partitions > 1:
+            return self.embeddings.quantized
+        return None
+
+    def exact_entity_rows(self, entity_ids: np.ndarray) -> np.ndarray:
+        """Float64 entity rows regardless of serving quantization.
+
+        On a quantized partitioned table this reads the exact bucket files
+        row-wise (:meth:`~repro.nn.partitioned.PartitionedEmbedding.exact_rows`)
+        instead of the quantized resident slabs.
+        """
+        idx = np.asarray(entity_ids, dtype=np.int64).reshape(-1)
+        if self.partitions > 1:
+            return self.embeddings.exact_rows(idx)
+        return np.array(self.embeddings.entity_embeddings()[idx],
+                        dtype=np.float64, copy=True)
+
+    def exact_candidate_scores(self, anchor: int, relation: int,
+                               candidates: np.ndarray,
+                               direction: str) -> Optional[np.ndarray]:
+        """Full-precision scores for one query against a short candidate list.
+
+        The rescoring half of two-phase quantized serving: the engine ranks
+        every entity coarsely on the quantized slabs, keeps the top
+        ``k × expansion`` candidates, and calls this to score just those rows
+        from the exact float64 bucket files — the same
+        ``||q||² − 2q·Tᵀ + ||t||²`` kernel the full-precision path runs, so
+        the rescored ordering matches full-precision serving.  ``direction``
+        is ``"tail"`` (``anchor`` is the head) or ``"head"`` (``anchor`` is
+        the tail); returns ``None`` when the closed L2 form does not apply
+        (L1 / overridden reductions), telling the caller to serve the coarse
+        ranking as-is.
+        """
+        if not self._l2_gemm_applies():
+            return None
+        candidates = np.asarray(candidates, dtype=np.int64).reshape(-1)
+        anchor_row = self.exact_entity_rows(np.array([anchor]))[0]
+        rel_row = np.asarray(self._relation_rows(np.array([relation]))[0],
+                             dtype=np.float64)
+        query = anchor_row + rel_row if direction == "tail" else anchor_row - rel_row
+        return l2_distance_matrix(query[None, :], self.exact_entity_rows(candidates))[0]
 
     # ------------------------------------------------------------------ #
     # Introspection / maintenance

@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn import init
+from repro.nn import quantize as quantize_lib
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.nn.table import (
@@ -117,11 +118,11 @@ class BucketParameter(Parameter):
 
     @property
     def dtype(self):
-        return np.dtype(np.float64)
+        return self._owner.slab_dtype
 
     @property
     def nbytes(self) -> int:
-        return self.size * np.dtype(np.float64).itemsize
+        return self.size * self._owner.slab_dtype.itemsize
 
     def restore_opt_state(self, optimizer, state: Dict[str, object]) -> None:
         """Hook called by ``Optimizer._param_state`` on first (re-)use.
@@ -187,11 +188,15 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         self._attached = False
         self._owns_dir = False
         self._directory: Optional[str] = None
+        self._quantized: Optional[str] = None
+        self._base_max_resident = self.max_resident
+        self._resident_bytes = 0
         self.counters: Dict[str, float] = {
             "faults": 0, "evictions": 0, "writebacks": 0,
             "bytes_loaded": 0, "bytes_written": 0,
             "fault_seconds": 0.0, "writeback_seconds": 0.0,
-            "peak_resident": 0,
+            "peak_resident": 0, "peak_resident_bytes": 0,
+            "exact_row_reads": 0,
         }
 
         # Relations: small, dense, always resident.
@@ -276,12 +281,24 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             handle.write("\n")
         return path
 
-    def attach_storage(self, directory: str, read_only: bool = True) -> None:
+    def attach_storage(self, directory: str, read_only: bool = True,
+                       quantized: Optional[object] = None) -> None:
         """Bind this table to existing bucket files (serving / reload path).
 
         The directory must carry a compatible ``partition.json``; any resident
         slabs are dropped (not written back) so subsequent faults read the
         attached files.
+
+        ``quantized`` selects which bucket files back the resident set:
+        ``None``/``False`` faults the exact float64 buckets; ``"fp16"`` /
+        ``"int8"`` faults the quantized twins written by
+        :func:`repro.nn.quantize.quantize_weight_files` (raising if the
+        manifest carries no matching ``"quantized"`` entry); ``"auto"`` (or
+        ``True``) uses the manifest's quantized mode when present and falls
+        back to full precision otherwise.  Quantized attachment is serve-only
+        (``read_only`` must stay true) and automatically scales
+        ``max_resident`` by the mode's compression factor — the memory budget
+        buys 2× (int8) / 4× (fp16) more resident buckets.
         """
         manifest_path = os.path.join(directory, PARTITION_MANIFEST)
         if not os.path.exists(manifest_path):
@@ -303,6 +320,18 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             path = os.path.join(directory, entry["file"])
             if not os.path.exists(path):
                 raise FileNotFoundError(f"bucket file missing: {path}")
+        mode = self._resolve_quantized(manifest, quantized)
+        if mode is not None:
+            if not read_only:
+                raise ValueError(
+                    "quantized buckets are serve-only; attach_storage with "
+                    "read_only=True or use the exact float64 buckets"
+                )
+            for k in range(self.partition.n_partitions):
+                for name in quantize_lib.quantized_filenames(k, mode):
+                    path = os.path.join(directory, name)
+                    if not os.path.exists(path):
+                        raise FileNotFoundError(f"quantized bucket file missing: {path}")
         self._drop_resident()
         if self._owns_dir and self._directory is not None:
             shutil.rmtree(self._directory, ignore_errors=True)
@@ -310,6 +339,31 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         self._owns_dir = False
         self._attached = True
         self.read_only = bool(read_only)
+        self._quantized = mode
+        if mode is not None:
+            self.max_resident = min(
+                self.partition.n_partitions,
+                self._base_max_resident * quantize_lib.compression_factor(mode))
+        else:
+            self.max_resident = self._base_max_resident
+
+    @staticmethod
+    def _resolve_quantized(manifest: Dict[str, object],
+                           quantized: Optional[object]) -> Optional[str]:
+        entry = manifest.get("quantized")
+        available = entry.get("mode") if isinstance(entry, dict) else None
+        if quantized in (None, False):
+            return None
+        if quantized in (True, "auto"):
+            return available
+        mode = quantize_lib.check_mode(str(quantized))
+        if available != mode:
+            raise ValueError(
+                f"weights directory is not quantized as {mode!r} "
+                f"(manifest has {available!r}); re-export the artifact with "
+                f"save_weight_files(..., quantize={mode!r})"
+            )
+        return mode
 
     def rehome(self, directory: Optional[str] = None) -> str:
         """Move the backing storage to a private directory (fork isolation).
@@ -357,6 +411,7 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             param._slab = None
         self._resident.clear()
         self._dirty.clear()
+        self._resident_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Residency management
@@ -380,14 +435,22 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             victim, _ = self._resident.popitem(last=False)
             self._evict(victim)
         t0 = time.perf_counter()
-        slab = np.load(self._bucket_path(bucket))
+        if self._quantized is not None:
+            slab, file_bytes = quantize_lib.load_quantized_bucket(
+                self._directory, bucket, self._quantized)
+        else:
+            slab = np.load(self._bucket_path(bucket))
+            file_bytes = slab.nbytes
         param._slab = slab
         self._resident[bucket] = None
+        self._resident_bytes += slab.nbytes
         self.counters["faults"] += 1
-        self.counters["bytes_loaded"] += slab.nbytes
+        self.counters["bytes_loaded"] += file_bytes
         self.counters["fault_seconds"] += time.perf_counter() - t0
         self.counters["peak_resident"] = max(self.counters["peak_resident"],
                                              len(self._resident))
+        self.counters["peak_resident_bytes"] = max(
+            self.counters["peak_resident_bytes"], self._resident_bytes)
 
     def _evict(self, bucket: int) -> None:
         param = self._buckets[bucket]
@@ -401,6 +464,7 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             self.counters["writeback_seconds"] += time.perf_counter() - t0
         self._dirty.discard(bucket)
         self._page_out_optimizer_state(bucket)
+        self._resident_bytes -= param._slab.nbytes
         param._slab = None
         self._resident.pop(bucket, None)
         self.counters["evictions"] += 1
@@ -501,17 +565,45 @@ class PartitionedEmbedding(Module, EmbeddingTable):
             yield bucket, slice(int(start), int(stop)), sorted_ids[start:stop] - lo
 
     def read_rows(self, indices: np.ndarray) -> np.ndarray:
-        """Copy of arbitrary entity rows (faulting buckets as needed)."""
+        """Copy of arbitrary entity rows (faulting buckets as needed).
+
+        The rows come back at the resident-slab dtype — float64 normally,
+        float16/float32 when serving quantized buckets (no silent upcast).
+        """
         idx = np.asarray(indices, dtype=np.int64).reshape(-1)
         if idx.size and (idx.min() < 0 or idx.max() >= self.n_entities):
             raise IndexError("entity index out of range")
-        out = np.empty((idx.size, self._embedding_dim))
+        out = np.empty((idx.size, self._embedding_dim), dtype=self.slab_dtype)
         order = np.argsort(idx, kind="stable")
         sorted_ids = idx[order]
         for bucket, sl, local in self._bucket_slices(sorted_ids):
             self._fault(bucket)
             out[order[sl]] = self._buckets[bucket]._slab[local]
             self._resident.move_to_end(bucket)
+        return out
+
+    def exact_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Full-precision float64 entity rows, even when serving quantized.
+
+        A quantized table keeps the exact ``entities.bucket<k>.npy`` files on
+        disk beside their quantized twins; this reads just the requested rows
+        from them through a transient memory map — no full bucket is widened
+        into RAM and nothing enters the resident set.  Without quantization it
+        is simply :meth:`read_rows`.  The two-phase serving path uses this to
+        rescore the coarse candidate list exactly.
+        """
+        if self._quantized is None:
+            return self.read_rows(indices)
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_entities):
+            raise IndexError("entity index out of range")
+        out = np.empty((idx.size, self._embedding_dim), dtype=np.float64)
+        order = np.argsort(idx, kind="stable")
+        sorted_ids = idx[order]
+        for bucket, sl, local in self._bucket_slices(sorted_ids):
+            exact = np.load(self._bucket_path(bucket), mmap_mode="r")
+            out[order[sl]] = exact[local]
+        self.counters["exact_row_reads"] += int(idx.size)
         return out
 
     def iter_blocks(self, block_rows: int = DEFAULT_BLOCK_ROWS
@@ -622,6 +714,20 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         """Directory holding the bucket files."""
         return self._directory
 
+    @property
+    def quantized(self) -> Optional[str]:
+        """Active serving quantization mode (``"fp16"``/``"int8"``) or ``None``."""
+        return self._quantized
+
+    @property
+    def slab_dtype(self) -> np.dtype:
+        """Dtype of the resident bucket slabs under the current attachment."""
+        if self._quantized == "fp16":
+            return np.dtype(np.float16)
+        if self._quantized == "int8":
+            return np.dtype(np.float32)
+        return np.dtype(np.float64)
+
     def bucket_parameters(self) -> Sequence[BucketParameter]:
         """The bucket parameters, in bucket order."""
         return tuple(self._buckets)
@@ -634,8 +740,10 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         """Fault/eviction/write-back counters plus current residency."""
         out = dict(self.counters)
         out["resident"] = len(self._resident)
+        out["resident_bytes"] = self._resident_bytes
         out["max_resident"] = self.max_resident
         out["partitions"] = self.partition.n_partitions
+        out["quantized"] = self._quantized
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -19,9 +19,18 @@ are never densified (partitioned models).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
+
+from repro.autograd.function import count_flops
+
+#: Elements per ``(B, tile)`` distance tile of the cache-tiled L2 kernel
+#: (~16 MB at float64) — every temporary the kernel touches is tile-sized,
+#: so a ranking sweep over a large vocabulary never materialises a second
+#: full ``(B, N)`` array beyond the output itself.
+RANK_TILE_ELEMENTS = 1 << 21
 
 
 def top_k(scores: np.ndarray, k: int) -> np.ndarray:
@@ -45,18 +54,56 @@ def top_k(scores: np.ndarray, k: int) -> np.ndarray:
 
 
 def l2_distance_matrix(queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
-    """Pairwise L2 distances ``(B, N)`` through one GEMM.
+    """Pairwise L2 distances ``(B, N)`` through a cache-tiled GEMM kernel.
 
-    ``||q − t||² = ||q||² − 2 q·t + ||t||²`` avoids materialising the
+    ``||q − t||² = ||q||² − 2 q·Tᵀ + ||t||²`` avoids materialising the
     ``(B, N, d)`` diff tensor; shared by the closed-form ranking path
     (``SpTransE``), the serving engine's embedding-space kNN, and the
     per-bucket sweeps over partitioned tables.
+
+    The target rows are processed in tiles bounded by
+    :data:`RANK_TILE_ELEMENTS`: each tile's GEMM, norm broadcast, clamp, and
+    square root run in place on the output slice, so beyond the ``(B, N)``
+    result itself every temporary is tile-sized (cache-resident) — the old
+    implementation streamed two extra full ``(B, N)`` arrays through memory.
+    The floating-point schedule per element is unchanged, so results are
+    bit-identical to the untiled expansion.
+
+    Dtype follows the inputs (``float32`` queries never silently upcast to
+    ``float64``).  Mixed precision promotes: quantized ``float16`` target
+    tables scored against ``float64`` queries are dequantized one tile at a
+    time — the full table is never widened in memory.
     """
-    sq = (queries ** 2).sum(axis=1)[:, None] + (targets ** 2).sum(axis=1)[None, :]
-    sq -= 2.0 * (queries @ targets.T)
-    # Cancellation can leave tiny negatives where q ≈ t.
-    np.maximum(sq, 0.0, out=sq)
-    return np.sqrt(sq + 1e-12)
+    queries = np.asarray(queries)
+    targets = np.asarray(targets)
+    b, d = queries.shape
+    n = targets.shape[0]
+    dtype = np.result_type(queries.dtype, targets.dtype)
+    if not np.issubdtype(dtype, np.floating):
+        dtype = np.dtype(np.float64)
+    t0 = time.perf_counter()
+    q = queries.astype(dtype, copy=False)
+    q_sq = (q ** 2).sum(axis=1)[:, None]
+    out = np.empty((b, n), dtype=dtype)
+    tile = max(1, RANK_TILE_ELEMENTS // max(1, b))
+    for start in range(0, n, tile):
+        stop = min(n, start + tile)
+        blk = targets[start:stop].astype(dtype, copy=False)
+        tile_out = out[:, start:stop]
+        tile_out[...] = q_sq + (blk ** 2).sum(axis=1)[None, :]
+        tile_out -= 2.0 * (q @ blk.T)
+        # Cancellation can leave tiny negatives where q ≈ t.
+        np.maximum(tile_out, 0.0, out=tile_out)
+        tile_out += 1e-12
+        np.sqrt(tile_out, out=tile_out)
+    count_flops(
+        "rank_l2[tiled]",
+        2 * b * n * d + 5 * b * n,
+        bytes_streamed=q.nbytes + targets.nbytes + out.nbytes,
+        bytes_unique=q.nbytes + targets.nbytes + out.nbytes,
+        seconds=time.perf_counter() - t0,
+    )
+    return out
 
 
 def candidate_expansion_scores(
@@ -75,11 +122,14 @@ def candidate_expansion_scores(
     ``position`` selects whether the tiled candidates stand in for the tail
     (``first``/``second`` are heads/relations) or the head (``first``/
     ``second`` are relations/tails).
+
+    The output dtype follows what ``score_triples`` produces — a model scoring
+    in float32 gets a float32 score grid back, never a silent float64 upcast.
     """
     n = int(n_entities)
     b = first.shape[0]
     candidates = np.arange(n, dtype=np.int64)
-    out = np.empty((b, n), dtype=np.float64)
+    out: Optional[np.ndarray] = None
     rows_per_block = max(1, int(chunk_size) // n)
     for start in range(0, b, rows_per_block):
         stop = min(b, start + rows_per_block)
@@ -91,8 +141,12 @@ def candidate_expansion_scores(
             triples = np.column_stack([expanded_first, expanded_second, tiled])
         else:
             triples = np.column_stack([tiled, expanded_first, expanded_second])
-        out[start:stop] = score_triples(
-            triples, chunk_size=chunk_size).reshape(rows, n)
+        block = score_triples(triples, chunk_size=chunk_size).reshape(rows, n)
+        if out is None:
+            out = np.empty((b, n), dtype=block.dtype)
+        out[start:stop] = block
+    if out is None:
+        out = np.empty((b, n), dtype=np.float64)
     return out
 
 

@@ -84,13 +84,25 @@ class InferenceEngine:
         protocol; without it, ``filtered=True`` queries behave like raw ones.
     cache_size:
         LRU entries kept (``0`` disables result caching).
+    rescore_expansion:
+        When the model serves quantized entity weights, each top-k query is
+        answered in two phases: a coarse sweep over the quantized table keeps
+        the best ``k × rescore_expansion`` candidates (after exclusion
+        masking), which are then rescored exactly from the float64 bucket
+        files before the final top-k — reported ranks and scores match
+        full-precision serving as long as the true top-k survives the coarse
+        cut.  Ignored for full-precision models.
     """
 
     def __init__(self, model: KGEModel,
                  known_triples: Optional[Iterable[Tuple[int, int, int]]] = None,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096, rescore_expansion: int = 4) -> None:
         self.model = model
         self.cache = LRUCache(cache_size)
+        if rescore_expansion < 1:
+            raise ValueError(
+                f"rescore_expansion must be >= 1, got {rescore_expansion}")
+        self.rescore_expansion = int(rescore_expansion)
         # numpy scoring is read-only on the weights, but the autograd
         # ``no_grad`` switch used by the generic scoring fallbacks is process
         # global — serialise scoring so concurrent HTTP threads cannot race
@@ -103,6 +115,7 @@ class InferenceEngine:
         self.queries_served = 0
         self.scoring_calls = 0
         self.rows_scored = 0
+        self.rescored_queries = 0
         self.reloads = 0
         self._known_tails: Dict[Tuple[int, int], np.ndarray] = {}
         self._known_heads: Dict[Tuple[int, int], np.ndarray] = {}
@@ -125,7 +138,9 @@ class InferenceEngine:
 
     @classmethod
     def from_artifact(cls, path: str, filtered: bool = False,
-                      cache_size: int = 4096, mmap="auto") -> "InferenceEngine":
+                      cache_size: int = 4096, mmap="auto",
+                      quantized=None,
+                      rescore_expansion: int = 4) -> "InferenceEngine":
         """Warm-load an ``sptransx run`` artifact directory.
 
         The artifact is self-contained: the checkpoint restores the exact
@@ -140,6 +155,12 @@ class InferenceEngine:
         demand and never densified into RAM — and falls back to the regular
         in-memory load otherwise; ``True`` requires the weight files;
         ``False`` always densifies.
+
+        ``quantized`` (``"fp16"``/``"int8"``/``"auto"``) serves a partitioned
+        model from the quantized bucket files written with
+        ``save_weight_files(..., quantize=...)`` — 2–4× lower resident bucket
+        bytes, with each answer rescored exactly from the float64 originals
+        (see ``rescore_expansion``).  Implies loading from the weight files.
         """
         import os
 
@@ -149,10 +170,13 @@ class InferenceEngine:
         artifact = load_artifact(path)
         known = (artifact.spec.data.materialize().known_triples()
                  if filtered else None)
-        if mmap == "auto":
+        if quantized not in (None, False):
+            mmap = True
+        elif mmap == "auto":
             mmap = os.path.isdir(os.path.join(path, ARTIFACT_WEIGHTS))
-        return cls(artifact.load_model(mmap=bool(mmap)), known_triples=known,
-                   cache_size=cache_size)
+        return cls(artifact.load_model(mmap=bool(mmap), quantized=quantized),
+                   known_triples=known, cache_size=cache_size,
+                   rescore_expansion=rescore_expansion)
 
     def set_known_triples(self, triples: Iterable[Tuple[int, int, int]]) -> None:
         """Install the positive set backing filtered queries (replaces any prior)."""
@@ -218,12 +242,25 @@ class InferenceEngine:
             with self._score_lock:
                 if self.model.n_partitions > 1:
                     # Partitioned tables are never densified: fault buckets in
-                    # lazily and keep a running top-k across blocks.
+                    # lazily and keep a running top-k across blocks.  Under
+                    # quantized serving the blocked sweep is coarse, so keep
+                    # k·expansion candidates and rescore them exactly.
+                    exact_rows = (getattr(self.model, "exact_entity_rows", None)
+                                  if getattr(self.model, "serving_quantized",
+                                             None) is not None else None)
+                    k_coarse = (k * self.rescore_expansion
+                                if exact_rows is not None else k)
                     query = self.model.entity_embedding_rows(
                         np.array([entity]))[0]
                     idx, distances_sel = ranking.nearest_rows(
                         query, self.model.iter_entity_embedding_blocks(),
-                        k, exclude=entity)
+                        k_coarse, exclude=entity)
+                    if exact_rows is not None and idx.size:
+                        q = exact_rows(np.array([entity]))[0]
+                        exact = ranking.l2_distance_matrix(
+                            q[None, :], exact_rows(idx))[0]
+                        sel = ranking.top_k(exact, k)
+                        idx, distances_sel = idx[sel], exact[sel]
                     value = TopKResult(
                         entities=tuple(int(i) for i in idx),
                         scores=tuple(float(d) for d in distances_sel))
@@ -296,11 +333,16 @@ class InferenceEngine:
                 with self._stats_lock:
                     self.scoring_calls += 1
                     self.rows_scored += int(anchors.shape[0])
+                rescore = self._rescorer()
                 for i in miss_positions:
                     q = queries[i]
                     row = scores[pair_rows[(q.anchor, q.relation)]]
                     exclude = self._exclusions(direction, q) if q.filtered else None
-                    result = _result_from_row(row, q.k, exclude)
+                    if rescore is not None:
+                        result = self._rescored_result(row, q, exclude,
+                                                       direction, rescore)
+                    else:
+                        result = _result_from_row(row, q.k, exclude)
                     self.cache.put(self._cache_key(direction, q), result)
                     results[i] = result
 
@@ -329,6 +371,40 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     # Internals / introspection
     # ------------------------------------------------------------------ #
+    def _rescorer(self):
+        """The model's exact-rescore hook, when quantized serving is active."""
+        if getattr(self.model, "serving_quantized", None) is None:
+            return None
+        return getattr(self.model, "exact_candidate_scores", None)
+
+    def _rescored_result(self, row: np.ndarray, q: TopKQuery,
+                         exclude: Optional[np.ndarray], direction: str,
+                         rescore) -> TopKResult:
+        """Two-phase answer: coarse quantized top-k·expansion, exact rescore.
+
+        Exclusions are masked *before* the coarse cut so filtered queries keep
+        the full candidate budget; the survivors are rescored from the float64
+        bucket files and the final top-k ranked on the exact scores.
+        """
+        masked = row
+        if exclude is not None and exclude.size:
+            masked = row.copy()
+            masked[exclude] = np.inf
+        coarse_k = min(masked.shape[0], q.k * self.rescore_expansion)
+        candidates = ranking.top_k(masked, coarse_k)
+        candidates = candidates[np.isfinite(masked[candidates])]
+        if candidates.size == 0:
+            return TopKResult(entities=(), scores=())
+        exact = rescore(q.anchor, q.relation, candidates, direction)
+        if exact is None:
+            # Model cannot rescore this formulation; serve the coarse ranking.
+            return _result_from_row(row, q.k, exclude)
+        sel = ranking.top_k(exact, q.k)
+        with self._stats_lock:
+            self.rescored_queries += 1
+        return TopKResult(entities=tuple(int(candidates[i]) for i in sel),
+                          scores=tuple(float(exact[i]) for i in sel))
+
     def _cache_key(self, direction: str, q: TopKQuery) -> Tuple:
         return (direction, q.anchor, q.relation, q.k, q.filtered)
 
@@ -344,6 +420,8 @@ class InferenceEngine:
                 "queries_served": self.queries_served,
                 "scoring_calls": self.scoring_calls,
                 "rows_scored": self.rows_scored,
+                "rescored_queries": self.rescored_queries,
+                "quantized": getattr(self.model, "serving_quantized", None),
                 "reloads": self.reloads,
                 "cache": self.cache.stats(),
             }

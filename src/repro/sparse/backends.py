@@ -11,6 +11,10 @@ The paper lets the user plug any high-performance SpMM under the framework
   small number of non-zeros per row (2 for ``ht``, 3 for ``hrt``); it fuses the
   gathers and the signed accumulation into a handful of vectorized adds and is
   the closest analogue to the paper's FusedMM-style optimisation.
+* ``"compiled"`` — the fused forward **and** row-sparse backward as single
+  compiled loops (numba ``@njit(cache=True)`` when importable) with a
+  cache-blocked pure-numpy fallback that is always available and bit-identical
+  to ``"fused"``; see :mod:`repro.sparse.kernels`.
 
 Backends operate on :class:`~repro.sparse.coo.COOMatrix` /
 :class:`~repro.sparse.csr.CSRMatrix` (or SciPy matrices) and plain ndarrays;
@@ -19,13 +23,15 @@ the autograd wrapper lives in :mod:`repro.sparse.spmm`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.function import count_flops
+from repro.sparse import kernels
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -59,8 +65,9 @@ def spmm_flops(A: SparseLike, X: np.ndarray) -> int:
     return int(2 * nnz * n_cols)
 
 
-def _record(A: SparseLike, X: np.ndarray, out: np.ndarray, kernel: str) -> None:
-    """Register FLOPs and byte traffic for one SpMM call.
+def _record(A: SparseLike, X: np.ndarray, out: np.ndarray, kernel: str,
+            seconds: float = 0.0) -> None:
+    """Register FLOPs, byte traffic, and wall-time for one SpMM call.
 
     The unique-bytes figure counts the distinct embedding rows read plus the
     freshly written output (write-allocate traffic) — the compulsory-miss
@@ -77,7 +84,8 @@ def _record(A: SparseLike, X: np.ndarray, out: np.ndarray, kernel: str) -> None:
     unique_reads = len(np.unique(coo_cols)) * row_bytes if coo_cols is not None else 0
     unique = unique_reads + out.nbytes
     streamed = (A.nnz * row_bytes) + out.nbytes
-    count_flops(kernel, spmm_flops(A, X), bytes_streamed=streamed, bytes_unique=unique)
+    count_flops(kernel, spmm_flops(A, X), bytes_streamed=streamed,
+                bytes_unique=unique, seconds=seconds)
 
 
 @dataclass(frozen=True)
@@ -92,18 +100,25 @@ class SpMMBackend:
         Callable ``(A, X) -> A @ X`` operating on ndarrays.
     description:
         Human-readable summary shown by :func:`available_backends`.
+    rowsparse_backward:
+        Optional fused backward ``(A, grad, n_rows) -> RowSparseGrad``.  When
+        set, the autograd wrapper (:func:`repro.sparse.spmm.spmm`) and the
+        partitioned scoring path route the row-sparse backward through it
+        instead of the generic gather/scale/coalesce reference.
     """
 
     name: str
     fn: Callable[[SparseLike, np.ndarray], np.ndarray]
     description: str = ""
+    rowsparse_backward: Optional[Callable] = None
 
     def __call__(self, A: SparseLike, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X)
         if A.shape[1] != X.shape[0]:
             raise ValueError(f"dimension mismatch: {A.shape} @ {X.shape}")
+        t0 = time.perf_counter()
         out = self.fn(A, X)
-        _record(A, X, out, f"spmm[{self.name}]")
+        _record(A, X, out, f"spmm[{self.name}]", seconds=time.perf_counter() - t0)
         return out
 
 
@@ -151,15 +166,13 @@ def _numpy_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
     return out
 
 
-def _regular_pattern(coo: COOMatrix):
-    """Detect a sorted, constant-nnz-per-row COO pattern without a full sort.
+#: Sentinel cached on a COOMatrix whose pattern probe came back irregular,
+#: distinguishing "checked, not regular" from "never checked" (``None``).
+_IRREGULAR = object()
 
-    Matrices from :class:`~repro.sparse.incidence.IncidenceBuilder` always
-    store rows as ``repeat(arange(m), k)``, so one reshape plus two vectorized
-    comparisons replace the ``bincount`` + stable ``argsort`` that used to run
-    on every call.  Returns ``(cols, vals)`` reshaped to ``(m, k)`` when the
-    fast path applies, else ``None``.
-    """
+
+def _probe_regular_pattern(coo: COOMatrix):
+    """The actual pattern inspection behind :func:`_regular_pattern`."""
     m = coo.shape[0]
     if m == 0 or coo.nnz % m != 0:
         return None
@@ -170,6 +183,32 @@ def _regular_pattern(coo: COOMatrix):
     if k > 1 and not (rows == rows[:, :1]).all():
         return None
     return coo.cols.reshape(m, k), coo.values.reshape(m, k)
+
+
+def _regular_pattern(coo: COOMatrix):
+    """Detect a sorted, constant-nnz-per-row COO pattern without a full sort.
+
+    Matrices from :class:`~repro.sparse.incidence.IncidenceBuilder` always
+    store rows as ``repeat(arange(m), k)``, so one reshape plus two vectorized
+    comparisons replace the ``bincount`` + stable ``argsort`` that used to run
+    on every call.  Returns ``(cols, vals)`` reshaped to ``(m, k)`` when the
+    fast path applies, else ``None``.
+
+    The verdict is memoised on the matrix itself: an incidence matrix reused
+    across steps (full-batch training, the serving engine's cached matrices,
+    benchmark loops) pays for the probe exactly once — every later call is a
+    single attribute read.
+    """
+    cached = getattr(coo, "_regular_cache", None)
+    if cached is None:
+        cached = _probe_regular_pattern(coo)
+        if cached is None:
+            cached = _IRREGULAR
+        try:
+            coo._regular_cache = cached
+        except AttributeError:  # pragma: no cover - foreign COO-likes
+            pass
+    return None if cached is _IRREGULAR else cached
 
 
 def _fused_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
@@ -210,20 +249,74 @@ def _fused_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
     return out
 
 
+def _compiled_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:
+    """Compiled/fused kernel: numba ``@njit`` when importable, blocked numpy else.
+
+    The regular incidence pattern (constant nnz per sorted row — the shape
+    every :class:`~repro.sparse.incidence.IncidenceBuilder` matrix has)
+    dispatches to :func:`repro.sparse.kernels.fixed_spmm`: a single compiled
+    gather-scatter loop under numba, or the cache-blocked pure-numpy kernel
+    (bit-identical to the ``"fused"`` backend) otherwise.  Irregular matrices
+    fall back to the ``"fused"`` backend's sort-then-gather path.
+    """
+    coo = _as_coo(A)
+    dtype = _out_dtype(X)
+    if coo.nnz == 0:
+        return np.zeros((coo.shape[0],) + X.shape[1:], dtype=dtype)
+    regular = _regular_pattern(coo)
+    if regular is None:
+        return _fused_spmm(A, X)
+    cols, vals = regular
+    if X.dtype != dtype:
+        X = X.astype(dtype)
+    return kernels.fixed_spmm(cols, vals, X, dtype)
+
+
+def _compiled_rowsparse_backward(A: SparseLike, grad: np.ndarray, n_rows: int):
+    """Fused ``A^T @ grad`` in row-sparse form (the ``"compiled"`` backward).
+
+    Same contract and flop/byte accounting as
+    :func:`repro.sparse.spmm._rowsparse_backward`, but the gather, scale, and
+    coalesce run on the fused schedule of
+    :func:`repro.sparse.kernels.rowsparse_bwd` and the measured wall-time is
+    attributed to ``spmm_bwd[compiled]``.
+    """
+    from repro.sparse.rowsparse import RowSparseGrad
+
+    coo = _as_coo(A)
+    t0 = time.perf_counter()
+    unique, packed = kernels.rowsparse_bwd(coo.cols, coo.rows, coo.values, grad)
+    out = RowSparseGrad(unique, packed, (n_rows,) + grad.shape[1:])
+    d = grad.shape[1] if grad.ndim > 1 else 1
+    row_bytes = grad.itemsize * d
+    count_flops(
+        "spmm_bwd[compiled]",
+        2 * coo.nnz * d,
+        bytes_streamed=2 * coo.nnz * row_bytes + out.values.nbytes,
+        bytes_unique=out.n_rows * row_bytes + out.values.nbytes,
+        seconds=time.perf_counter() - t0,
+    )
+    return out
+
+
 _REGISTRY: Dict[str, SpMMBackend] = {}
 
 
 def register_backend(name: str, fn: Callable[[SparseLike, np.ndarray], np.ndarray],
-                     description: str = "", overwrite: bool = False) -> SpMMBackend:
+                     description: str = "", overwrite: bool = False,
+                     rowsparse_backward: Optional[Callable] = None) -> SpMMBackend:
     """Register a custom SpMM backend under ``name``.
 
     The paper's framework lets users plug their preferred SpMM library; this is
     the equivalent hook.  Registered backends become selectable by name in
-    every model constructor.
+    every model constructor.  ``rowsparse_backward`` optionally supplies a
+    fused ``(A, grad, n_rows) -> RowSparseGrad`` backward used in place of the
+    generic gather/scale/coalesce path.
     """
     if name in _REGISTRY and not overwrite:
         raise ValueError(f"backend {name!r} already registered (pass overwrite=True to replace)")
-    backend = SpMMBackend(name=name, fn=fn, description=description)
+    backend = SpMMBackend(name=name, fn=fn, description=description,
+                          rowsparse_backward=rowsparse_backward)
     _REGISTRY[name] = backend
     return backend
 
@@ -248,5 +341,11 @@ def available_backends() -> Dict[str, str]:
 register_backend("scipy", _scipy_spmm, "Compiled SciPy CSR kernel (production default)")
 register_backend("numpy", _numpy_spmm, "Pure-NumPy gather/scatter reference kernel")
 register_backend("fused", _fused_spmm, "Fused gather kernel for fixed-nnz incidence rows")
+register_backend(
+    "compiled", _compiled_spmm,
+    "Fused forward+backward kernels: numba @njit when importable, "
+    "cache-blocked numpy fallback otherwise",
+    rowsparse_backward=_compiled_rowsparse_backward,
+)
 
 DEFAULT_BACKEND = "scipy"

@@ -26,9 +26,13 @@ class COOMatrix:
         Matrix shape ``(n_rows, n_cols)``.
     """
 
-    __slots__ = ("rows", "cols", "values", "shape")
+    __slots__ = ("rows", "cols", "values", "shape", "_regular_cache")
 
     def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
+        # Memoised result of the fused kernels' constant-nnz pattern probe
+        # (see repro.sparse.backends._regular_pattern); the index arrays are
+        # immutable by convention, so the probe need only run once per matrix.
+        self._regular_cache = None
         rows = np.ascontiguousarray(rows, dtype=np.int64)
         cols = np.ascontiguousarray(cols, dtype=np.int64)
         values = np.ascontiguousarray(values, dtype=np.float64)

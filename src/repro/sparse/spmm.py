@@ -19,6 +19,7 @@ batch (``O(nnz * d)``) instead of the vocabulary (``O(K * d)``).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -54,6 +55,7 @@ def _rowsparse_backward(A: SparseLike, grad: np.ndarray, n_rows: int) -> RowSpar
     coalesce over ``nnz`` rows — no ``(K, d)`` densification and no transpose.
     """
     coo = _as_coo(A)
+    t0 = time.perf_counter()
     vals = coo.values.astype(grad.dtype, copy=False)
     contributions = vals[:, None] * grad[coo.rows]
     out = RowSparseGrad.from_rows(coo.cols, contributions, (n_rows,) + grad.shape[1:])
@@ -64,8 +66,20 @@ def _rowsparse_backward(A: SparseLike, grad: np.ndarray, n_rows: int) -> RowSpar
         2 * coo.nnz * d,
         bytes_streamed=2 * coo.nnz * row_bytes + out.values.nbytes,
         bytes_unique=out.n_rows * row_bytes + out.values.nbytes,
+        seconds=time.perf_counter() - t0,
     )
     return out
+
+
+def rowsparse_backward_for(backend: Union[str, SpMMBackend]):
+    """The row-sparse backward a backend wants: its fused kernel or the reference.
+
+    Backends registered with a ``rowsparse_backward`` (the ``"compiled"``
+    backend's fused gather-scatter) get their own; everything else uses
+    :func:`_rowsparse_backward`.
+    """
+    fused = get_backend(backend).rowsparse_backward
+    return fused if fused is not None else _rowsparse_backward
 
 
 def spmm(
@@ -106,13 +120,14 @@ def spmm(
 
     transposed = A_t
     n_rows = X_t.shape[0]
+    rowsparse_bwd = kernel.rowsparse_backward or _rowsparse_backward
 
     def backward(grad: np.ndarray) -> None:
         nonlocal transposed
         if not X_t.requires_grad:
             return
         if sparse_grad and X_t.is_leaf and grad.ndim == 2:
-            X_t.accumulate_grad(_rowsparse_backward(A, grad, n_rows))
+            X_t.accumulate_grad(rowsparse_bwd(A, grad, n_rows))
             return
         if transposed is None:
             transposed = _transpose(A)

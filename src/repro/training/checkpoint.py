@@ -210,7 +210,8 @@ ARTIFACT_CHECKPOINT = "checkpoint.npz"
 ARTIFACT_WEIGHTS = "weights"
 
 
-def save_weight_files(directory: str, model: KGEModel) -> Dict[str, str]:
+def save_weight_files(directory: str, model: KGEModel,
+                      quantize: Optional[str] = None) -> Dict[str, str]:
     """Write every parameter as ``<directory>/weights/<name>.npy``.
 
     The files duplicate the arrays already inside ``checkpoint.npz`` in a
@@ -224,11 +225,21 @@ def save_weight_files(directory: str, model: KGEModel) -> Dict[str, str]:
     other parameters keep the flat ``<name>.npy`` layout.  Loaders treat a
     weights directory *without* a manifest as the legacy single-bucket dense
     layout, so pre-partitioning artifacts stay loadable unchanged.
+
+    ``quantize`` (``"fp16"`` or ``"int8"``) additionally writes quantized
+    twins of each bucket (``entities.bucket<k>.f16.npy`` / int8 codes plus
+    per-row scales) beside the exact files and records the mode in the
+    manifest — see :mod:`repro.nn.quantize`.  Requires a partitioned model.
     """
     weights_dir = os.path.join(directory, ARTIFACT_WEIGHTS)
     os.makedirs(weights_dir, exist_ok=True)
     written: Dict[str, str] = {}
     table, bucket_names = _partitioned_table(model)
+    if table is None and quantize is not None:
+        raise ValueError(
+            "quantize= requires a model with a partitioned entity table "
+            "(train with partitions > 1)"
+        )
     if table is not None:
         table.flush()
         for k in range(table.n_partitions):
@@ -238,6 +249,14 @@ def save_weight_files(directory: str, model: KGEModel) -> Dict[str, str]:
                 shutil.copyfile(source, target)
             written[f"entities.bucket{k}"] = target
         table.write_manifest(weights_dir)
+        if quantize is not None:
+            from repro.nn.quantize import quantize_weight_files
+
+            entry = quantize_weight_files(weights_dir, quantize)
+            for k, bucket in enumerate(entry["buckets"]):
+                for name in bucket["files"]:
+                    written[os.path.splitext(name)[0]] = os.path.join(
+                        weights_dir, name)
     for name, param in model.named_parameters():
         if name in bucket_names:
             continue
@@ -325,7 +344,8 @@ def model_from_checkpoint(checkpoint: Checkpoint, rng=0) -> KGEModel:
     return model
 
 
-def load_model(path: str, rng=0, mmap: bool = False) -> KGEModel:
+def load_model(path: str, rng=0, mmap: bool = False,
+               quantized: Optional[object] = None) -> KGEModel:
     """One-call ``path → ready model`` (what the serving engine and CLI use).
 
     With ``mmap=True`` and an artifact directory carrying a ``weights/``
@@ -335,7 +355,19 @@ def load_model(path: str, rng=0, mmap: bool = False) -> KGEModel:
     tables are paged in lazily by the OS and are never densified into RAM.
     The returned model is read-only: training or ``normalize_parameters``
     would write through the map and must use the regular loader.
+
+    ``quantized`` (``"fp16"``/``"int8"``/``"auto"``) serves a partitioned
+    model from the quantized bucket files written with
+    ``save_weight_files(..., quantize=...)`` — resident bucket bytes drop 2–4×
+    and the serving engine rescores top candidates exactly from the float64
+    originals.  Requires ``mmap=True`` (the quantized files live in the
+    weights directory).
     """
+    if quantized not in (None, False) and not mmap:
+        raise ValueError(
+            "quantized serving reads the weights/ directory; load with "
+            "mmap=True (or drop quantized=)"
+        )
     if mmap:
         checkpoint_file = resolve_checkpoint_path(path)
         weights_dir = os.path.join(os.path.dirname(checkpoint_file),
@@ -346,12 +378,14 @@ def load_model(path: str, rng=0, mmap: bool = False) -> KGEModel:
                 "memory-mapped loading needs an artifact written with weight "
                 "files (re-run `sptransx run`, or load with mmap=False)"
             )
-        return _model_from_weight_files(checkpoint_file, weights_dir, rng=rng)
+        return _model_from_weight_files(checkpoint_file, weights_dir, rng=rng,
+                                        quantized=quantized)
     return model_from_checkpoint(load_checkpoint(path), rng=rng)
 
 
 def _model_from_weight_files(checkpoint_file: str, weights_dir: str,
-                             rng=0) -> KGEModel:
+                             rng=0, quantized: Optional[object] = None
+                             ) -> KGEModel:
     """Build a model whose parameters are read-only maps of on-disk arrays.
 
     With a ``partition.json`` manifest present, the entity buckets attach to
@@ -375,7 +409,12 @@ def _model_from_weight_files(checkpoint_file: str, weights_dir: str,
                 f"{weights_dir} carries a {PARTITION_MANIFEST} but the "
                 "checkpointed spec does not describe a partitioned model"
             )
-        table.attach_storage(weights_dir, read_only=True)
+        table.attach_storage(weights_dir, read_only=True, quantized=quantized)
+    elif quantized not in (None, False, "auto", True):
+        raise ValueError(
+            f"quantized={quantized!r} requires a partitioned weights "
+            f"directory (no {PARTITION_MANIFEST} in {weights_dir})"
+        )
     for name, param in model.named_parameters():
         if name in bucket_names:
             continue

@@ -66,3 +66,38 @@ class TestOperatorAccounting:
         with flop_counter() as counters:
             out.sum().backward()
         assert "scatter_add" in counters.per_op
+
+
+class TestPerOpSeconds:
+    def test_add_accumulates_seconds(self):
+        c = OpCounters()
+        c.add("k", 10, seconds=0.25)
+        c.add("k", 10, seconds=0.25)
+        c.add("other", 1)
+        assert abs(c.seconds - 0.5) < 1e-12
+        assert set(c.per_op_seconds) == {"k"}
+        assert abs(c.per_op_seconds["k"] - 0.5) < 1e-12
+
+    def test_merge_sums_seconds(self):
+        a, b = OpCounters(), OpCounters()
+        a.add("k", 1, seconds=0.1)
+        b.add("k", 1, seconds=0.2)
+        b.add("j", 1, seconds=0.3)
+        a.merge(b)
+        assert abs(a.seconds - 0.6) < 1e-12
+        assert abs(a.per_op_seconds["k"] - 0.3) < 1e-12
+        assert abs(a.per_op_seconds["j"] - 0.3) < 1e-12
+
+    def test_count_flops_forwards_seconds(self):
+        with flop_counter() as counters:
+            count_flops("timed", 5, seconds=0.125)
+        assert abs(counters.per_op_seconds["timed"] - 0.125) < 1e-12
+
+    def test_hot_kernels_record_wall_time(self):
+        from repro.losses import margin_ranking_loss
+
+        with flop_counter() as counters:
+            margin_ranking_loss(
+                Tensor(np.ones(64), requires_grad=True),
+                Tensor(np.zeros(64), requires_grad=True), margin=0.5)
+        assert counters.per_op_seconds.get("margin_loss[fused]", 0) > 0

@@ -157,6 +157,51 @@ class TestRunCommand:
         assert (tmp_path / "artifacts" / "data.sqlite").exists()
         assert (tmp_path / "artifacts" / "weights").is_dir()
 
+    def test_run_backend_override_flows_to_model(self, capsys, tmp_path):
+        spec_path = str(tmp_path / "exp.json")
+        run_cli(capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+                "--model", "transe", "--epochs", "1", "--batch-size", "256",
+                "--dim", "8", "--output", spec_path)
+        assert json.loads((tmp_path / "exp.json").read_text())["model"].get(
+            "backend") is None
+
+        artifacts = str(tmp_path / "artifacts")
+        code, out = run_cli(capsys, "run", spec_path, "--artifacts", artifacts,
+                            "--backend", "compiled", "--quiet")
+        assert code == 0
+        assert json.loads(out)["model"]["backend"] == "compiled"
+
+        # The backend round-trips through the artifact's checkpointed spec.
+        from repro.training.checkpoint import load_model
+
+        restored = load_model(artifacts)
+        assert restored.backend == "compiled"
+
+    def test_run_quantize_writes_quantized_artifact(self, capsys, tmp_path):
+        spec_path = str(tmp_path / "exp.json")
+        run_cli(capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+                "--model", "transe", "--epochs", "1", "--batch-size", "256",
+                "--dim", "8", "--output", spec_path)
+        artifacts = str(tmp_path / "artifacts")
+        code, out = run_cli(capsys, "run", spec_path, "--artifacts", artifacts,
+                            "--partitions", "2", "--quantize", "int8", "--quiet")
+        assert code == 0
+        assert json.loads(out)["quantized"] == "int8"
+        weights = tmp_path / "artifacts" / "weights"
+        assert (weights / "entities.bucket0.i8.npy").exists()
+        assert (weights / "entities.bucket0.i8.scale.npy").exists()
+        manifest = json.loads((weights / "partition.json").read_text())
+        assert manifest["quantized"]["mode"] == "int8"
+
+    def test_run_quantize_rejects_unpartitioned_model(self, capsys, tmp_path):
+        spec_path = str(tmp_path / "exp.json")
+        run_cli(capsys, "export-spec", "--dataset", "WN18RR", "--scale", "0.003",
+                "--model", "transe", "--epochs", "1", "--batch-size", "256",
+                "--dim", "8", "--output", spec_path)
+        with pytest.raises(SystemExit):
+            main(["run", spec_path, "--artifacts", str(tmp_path / "a"),
+                  "--quantize", "fp16", "--quiet"])
+
     def test_train_accepts_storage_and_workers_flags(self, capsys, tmp_path):
         checkpoint = str(tmp_path / "model.npz")
         code, out = run_cli(capsys, "train", "--dataset", "WN18RR", "--scale",

@@ -1,0 +1,202 @@
+"""Quantized serving weights: codec, artifact layout, and rank parity.
+
+The acceptance contract: int8/fp16 artifacts serve with top-k ranks identical
+to full-precision serving (exact rescoring from the float64 originals) at no
+more than half the resident bucket bytes.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.models.transe import SpTransE
+from repro.nn import quantize
+from repro.nn.partitioned import PARTITION_MANIFEST
+from repro.serving.engine import InferenceEngine
+from repro.training.checkpoint import save_checkpoint, save_weight_files, load_model
+
+
+@pytest.fixture
+def artifact(tmp_path):
+    """A trained-ish partitioned artifact with both quantized modes written."""
+    model = SpTransE(120, 5, 12, partitions=3, rng=7, max_resident=2)
+    path = str(tmp_path / "artifact")
+    os.makedirs(path)
+    save_checkpoint(os.path.join(path, "checkpoint.npz"), model)
+    return model, path
+
+
+class TestCodec:
+    def test_int8_roundtrip_error_bound(self):
+        rng = np.random.default_rng(0)
+        slab = rng.standard_normal((50, 16))
+        codes, scales = quantize.quantize_int8(slab)
+        assert codes.dtype == np.int8 and scales.dtype == np.float32
+        back = quantize.dequantize_int8(codes, scales)
+        assert back.dtype == np.float32
+        err = np.abs(back.astype(np.float64) - slab)
+        assert (err <= scales[:, None].astype(np.float64) / 2 + 1e-6).all()
+
+    def test_int8_zero_rows(self):
+        slab = np.zeros((4, 8))
+        codes, scales = quantize.quantize_int8(slab)
+        np.testing.assert_array_equal(quantize.dequantize_int8(codes, scales), 0.0)
+
+    def test_filenames_and_factor(self):
+        assert quantize.quantized_filenames(2, "fp16") == ["entities.bucket2.f16.npy"]
+        assert quantize.quantized_filenames(0, "int8") == [
+            "entities.bucket0.i8.npy", "entities.bucket0.i8.scale.npy"]
+        assert quantize.compression_factor("fp16") == 4
+        assert quantize.compression_factor("int8") == 2
+        with pytest.raises(ValueError):
+            quantize.check_mode("int4")
+
+
+class TestArtifactLayout:
+    def test_save_weight_files_writes_quantized_twins(self, artifact):
+        model, path = artifact
+        written = save_weight_files(path, model, quantize="int8")
+        weights = os.path.join(path, "weights")
+        for k in range(3):
+            assert os.path.exists(os.path.join(weights, f"entities.bucket{k}.npy"))
+            assert os.path.exists(os.path.join(weights, f"entities.bucket{k}.i8.npy"))
+            assert os.path.exists(
+                os.path.join(weights, f"entities.bucket{k}.i8.scale.npy"))
+        with open(os.path.join(weights, PARTITION_MANIFEST)) as handle:
+            manifest = json.load(handle)
+        assert manifest["quantized"]["mode"] == "int8"
+        assert len(manifest["quantized"]["buckets"]) == 3
+        assert "entities.bucket0.i8" in written
+
+    def test_quantize_requires_partitioned_model(self, tmp_path):
+        dense = SpTransE(20, 3, 4, rng=0)
+        with pytest.raises(ValueError, match="partitioned"):
+            save_weight_files(str(tmp_path), dense, quantize="fp16")
+
+    def test_disk_bytes_shrink(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        weights = os.path.join(path, "weights")
+        exact = os.path.getsize(os.path.join(weights, "entities.bucket0.npy"))
+        codes = os.path.getsize(os.path.join(weights, "entities.bucket0.i8.npy"))
+        assert codes < exact / 4  # int8 codes are 1/8 the float64 payload
+
+
+class TestQuantizedAttach:
+    def test_slab_dtype_and_resident_bytes(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        ckpt = os.path.join(path, "checkpoint.npz")
+        ref = load_model(ckpt, mmap=True)
+        q = load_model(ckpt, mmap=True, quantized="int8")
+        assert ref.embeddings.slab_dtype == np.float64
+        assert q.embeddings.slab_dtype == np.float32
+        assert q.embeddings.quantized == "int8"
+        rows_ref = ref.embeddings.read_rows(np.arange(40))
+        rows_q = q.embeddings.read_rows(np.arange(40))
+        assert rows_q.dtype == np.float32  # no silent upcast
+        # Same bucket resident on both tables: quantized costs half the bytes.
+        assert q.embeddings.bucket_parameters()[0].nbytes * 2 == \
+            ref.embeddings.bucket_parameters()[0].nbytes
+        np.testing.assert_allclose(rows_q, rows_ref, atol=0.02)
+
+    def test_max_resident_auto_scales(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="fp16")
+        q = load_model(os.path.join(path, "checkpoint.npz"), mmap=True,
+                       quantized="fp16")
+        # base max_resident 2 × factor 4, capped at 3 partitions
+        assert q.embeddings.max_resident == 3
+        assert q.embeddings.slab_dtype == np.float16
+
+    def test_exact_rows_match_float64_originals(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        ckpt = os.path.join(path, "checkpoint.npz")
+        ref = load_model(ckpt, mmap=True)
+        q = load_model(ckpt, mmap=True, quantized="int8")
+        idx = np.array([0, 55, 119, 3])
+        np.testing.assert_array_equal(q.embeddings.exact_rows(idx),
+                                      ref.embeddings.read_rows(idx))
+        assert q.embeddings.stats()["exact_row_reads"] == idx.size
+
+    def test_mode_mismatch_raises(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="fp16")
+        with pytest.raises(ValueError, match="not quantized as"):
+            load_model(os.path.join(path, "checkpoint.npz"), mmap=True,
+                       quantized="int8")
+
+    def test_auto_uses_manifest_mode(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        q = load_model(os.path.join(path, "checkpoint.npz"), mmap=True,
+                       quantized="auto")
+        assert q.embeddings.quantized == "int8"
+
+    def test_auto_without_quantized_files_is_full_precision(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model)
+        q = load_model(os.path.join(path, "checkpoint.npz"), mmap=True,
+                       quantized="auto")
+        assert q.embeddings.quantized is None
+        assert q.embeddings.slab_dtype == np.float64
+
+    def test_quantized_requires_mmap(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        with pytest.raises(ValueError, match="mmap"):
+            load_model(os.path.join(path, "checkpoint.npz"), quantized="int8")
+
+
+class TestRankParity:
+    @pytest.mark.parametrize("mode", ["fp16", "int8"])
+    def test_topk_ranks_identical_after_rescore(self, artifact, mode):
+        model, path = artifact
+        save_weight_files(path, model, quantize=mode)
+        ckpt = os.path.join(path, "checkpoint.npz")
+        ref_engine = InferenceEngine(load_model(ckpt, mmap=True))
+        q_engine = InferenceEngine(load_model(ckpt, mmap=True, quantized=mode))
+        for anchor, rel in [(0, 0), (17, 2), (119, 4), (58, 1)]:
+            a = ref_engine.top_k_tails(anchor, rel, k=10)
+            b = q_engine.top_k_tails(anchor, rel, k=10)
+            assert a.entities == b.entities
+            np.testing.assert_allclose(a.scores, b.scores, rtol=1e-12, atol=1e-12)
+            a = ref_engine.top_k_heads(rel, anchor, k=10)
+            b = q_engine.top_k_heads(rel, anchor, k=10)
+            assert a.entities == b.entities
+        assert q_engine.stats()["rescored_queries"] > 0
+        assert q_engine.stats()["quantized"] == mode
+        assert ref_engine.stats()["rescored_queries"] == 0
+
+    def test_filtered_queries_keep_parity(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        ckpt = os.path.join(path, "checkpoint.npz")
+        known = [(0, 0, t) for t in range(15)]
+        ref_engine = InferenceEngine(load_model(ckpt, mmap=True),
+                                     known_triples=known)
+        q_engine = InferenceEngine(load_model(ckpt, mmap=True, quantized="int8"),
+                                   known_triples=known)
+        a = ref_engine.top_k_tails(0, 0, k=8, filtered=True)
+        b = q_engine.top_k_tails(0, 0, k=8, filtered=True)
+        assert a.entities == b.entities
+        assert not set(a.entities) & set(range(15))
+
+    def test_nearest_entities_parity(self, artifact):
+        model, path = artifact
+        save_weight_files(path, model, quantize="int8")
+        ckpt = os.path.join(path, "checkpoint.npz")
+        ref_engine = InferenceEngine(load_model(ckpt, mmap=True))
+        q_engine = InferenceEngine(load_model(ckpt, mmap=True, quantized="int8"))
+        for entity in (3, 64, 119):
+            a = ref_engine.nearest_entities(entity, k=5)
+            b = q_engine.nearest_entities(entity, k=5)
+            assert a.entities == b.entities
+
+    def test_rescore_expansion_validation(self, artifact):
+        model, path = artifact
+        with pytest.raises(ValueError):
+            InferenceEngine(model, rescore_expansion=0)

@@ -88,3 +88,47 @@ class TestBlockedRankingOnModels:
         assert np.allclose(dense.score_all_heads(relations, heads),
                            part.score_all_heads(relations, heads), atol=1e-9)
         part.embeddings.close()
+
+
+class TestL2DistanceDtype:
+    """The tiled kernel must never silently upcast fp16/fp32 inputs to fp64."""
+
+    def test_float32_preserved(self, rng):
+        q = rng.standard_normal((4, 8)).astype(np.float32)
+        t = rng.standard_normal((20, 8)).astype(np.float32)
+        assert ranking.l2_distance_matrix(q, t).dtype == np.float32
+
+    def test_float16_preserved(self, rng):
+        q = rng.standard_normal((2, 4)).astype(np.float16)
+        t = rng.standard_normal((10, 4)).astype(np.float16)
+        assert ranking.l2_distance_matrix(q, t).dtype == np.float16
+
+    def test_mixed_precision_promotes(self, rng):
+        q = rng.standard_normal((2, 4))
+        t = rng.standard_normal((10, 4)).astype(np.float16)
+        assert ranking.l2_distance_matrix(q, t).dtype == np.float64
+
+    def test_integer_inputs_compute_in_float64(self):
+        q = np.arange(8).reshape(2, 4)
+        t = np.arange(12).reshape(3, 4)
+        assert ranking.l2_distance_matrix(q, t).dtype == np.float64
+
+    def test_tiling_is_bit_identical_to_one_tile(self, rng, monkeypatch):
+        q = rng.standard_normal((3, 16))
+        t = rng.standard_normal((500, 16))
+        whole = ranking.l2_distance_matrix(q, t)
+        monkeypatch.setattr(ranking, "RANK_TILE_ELEMENTS", 64)
+        tiled = ranking.l2_distance_matrix(q, t)
+        np.testing.assert_array_equal(tiled, whole)
+
+
+class TestCandidateExpansionDtype:
+    def test_output_follows_score_dtype(self):
+        def score_triples(triples, chunk_size=0):
+            return np.zeros(triples.shape[0], dtype=np.float32)
+
+        out = ranking.candidate_expansion_scores(
+            np.array([0, 1]), np.array([0, 0]), position="tail",
+            n_entities=6, score_triples=score_triples, chunk_size=8)
+        assert out.dtype == np.float32
+        assert out.shape == (2, 6)
