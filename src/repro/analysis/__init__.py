@@ -1,0 +1,49 @@
+"""Static analysis for repo-wide invariants (``sptransx check``).
+
+See :mod:`repro.analysis.core` for the framework and
+:mod:`repro.analysis.checkers` for the shipped rules:
+
+==================  =====================================================
+rule id             invariant
+==================  =====================================================
+dtype-ctor          hot-path numpy constructors name their dtype
+dtype-promotion     no builtin-float dtypes / fp64-forcing literals
+fork-module-lock    no module-level locks in the fork closure
+fork-sqlite         no sqlite connections crossing os.fork
+fork-atexit         no atexit handlers in the fork closure
+lock-discipline     serving state mutates only under its Lock
+kernel-parity       every backend/kernel has a tests/sparse/ parity test
+registry-model      every concrete model carries @register_model
+registry-roundtrip  spec dataclass fields survive to_dict/from_dict
+==================  =====================================================
+
+Suppress per line with ``# repro: ignore[rule-id]`` or per file with
+``# repro: ignore-file[rule-id]``.
+"""
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    Project,
+    SourceFile,
+    changed_files,
+    iter_checkers,
+    iter_rules,
+    register_checker,
+    run_checks,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Project",
+    "SourceFile",
+    "changed_files",
+    "iter_checkers",
+    "iter_rules",
+    "register_checker",
+    "run_checks",
+    "render_json",
+    "render_text",
+]

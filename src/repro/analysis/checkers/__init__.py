@@ -1,0 +1,9 @@
+"""Built-in checkers; importing this package registers them all."""
+
+from repro.analysis.checkers import (  # noqa: F401
+    dtype,
+    fork_safety,
+    kernel_parity,
+    lock_discipline,
+    registry_checks,
+)

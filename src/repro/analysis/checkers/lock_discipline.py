@@ -1,0 +1,216 @@
+"""lock-discipline checker.
+
+The serving tier is the only multi-threaded part of the system, and its
+concurrency contract is simple: a class that creates a ``threading.Lock``
+in ``__init__`` promises that *every* post-construction mutation of the
+state initialised alongside that lock happens inside a ``with
+self._lock:`` block.  The ``RequestBatcher`` shutdown races fixed by hand
+in PR 4 were exactly violations of this contract (``_closed`` flipped
+outside ``_submit_lock``), so the rule is now machine-checked for all of
+``serving/``.
+
+Mechanics, per class in ``serving/``:
+
+* lock attributes = ``self.X = threading.Lock()/RLock()`` in ``__init__``;
+  classes without one are ignored (plain data holders).
+* guarded attributes = every other ``self.Y`` assigned in ``__init__``.
+* any ``self.Y = ...`` / ``self.Y += ...`` / ``self.Y[...] = ...`` /
+  ``del self.Y`` in another method must sit lexically inside a ``with``
+  statement whose context expression is one of the class's lock
+  attributes.  Nested/multi-item ``with`` blocks count.
+
+Escape hatch: methods whose name ends in ``_locked`` are exempt — the
+repo's documented convention for helpers whose *caller* holds the lock
+(e.g. ``InferenceEngine._entity_snapshot_locked``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile, register_checker
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in {"Lock", "RLock"}:
+        return isinstance(func.value, ast.Name) and func.value.id == "threading"
+    return isinstance(func, ast.Name) and func.id in {"Lock", "RLock"}
+
+
+def _self_attr(node: ast.expr) -> str:
+    """Attribute name when ``node`` is ``self.X``, else empty string."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _init_attrs(init: ast.FunctionDef) -> Set[str]:
+    attrs: Set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _self_attr(target)
+                if name:
+                    attrs.add(name)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            name = _self_attr(node.target)
+            if name:
+                attrs.add(name)
+    return attrs
+
+
+def _lock_attrs(init: ast.FunctionDef) -> Set[str]:
+    locks: Set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                name = _self_attr(target)
+                if name:
+                    locks.add(name)
+    return locks
+
+
+def _mutated_attr(node: ast.AST) -> List[ast.expr]:
+    """Mutation targets of an assignment-like node (``self.X`` or ``self.X[...]``)."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    out: List[ast.expr] = []
+    for t in targets:
+        if isinstance(t, ast.Subscript):
+            t = t.value
+        if isinstance(t, ast.Tuple):
+            out.extend(e for e in t.elts)
+        else:
+            out.append(t)
+    return out
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method body tracking the lexical ``with self._lock`` stack."""
+
+    def __init__(self, source: SourceFile, cls: str, method: str,
+                 guarded: Set[str], locks: Set[str]):
+        self.source = source
+        self.cls = cls
+        self.method = method
+        self.guarded = guarded
+        self.locks = locks
+        self.depth = 0
+        self.findings: List[Finding] = []
+
+    def _holds_lock(self, node: ast.With) -> bool:
+        return any(
+            _self_attr(item.context_expr) in self.locks
+            for item in node.items
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        held = self._holds_lock(node)
+        if held:
+            self.depth += 1
+        self.generic_visit(node)
+        if held:
+            self.depth -= 1
+
+    def _check(self, node: ast.AST) -> None:
+        if self.depth > 0:
+            return
+        for target in _mutated_attr(node):
+            name = _self_attr(target)
+            if name and name in self.guarded:
+                self.findings.append(
+                    self.source.finding(
+                        "lock-discipline",
+                        node,
+                        f"{self.cls}.{self.method} mutates self.{name} "
+                        f"outside a with-block on "
+                        f"{' or '.join(sorted('self.' + l for l in self.locks))}; "
+                        "state initialised alongside a Lock must only change "
+                        "under it (suffix the method _locked if the caller "
+                        "holds the lock)",
+                    )
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs (callbacks) execute later, possibly without the lock —
+        # treat their bodies as unlocked unless they take the lock themselves.
+        saved = self.depth
+        self.depth = 0
+        self.generic_visit(node)
+        self.depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rule_ids = ("lock-discipline",)
+    description = (
+        "serving/ classes that create a Lock in __init__ must mutate the "
+        "state initialised alongside it only inside with-blocks on that lock"
+    )
+
+    def interesting(self, relpath: str) -> bool:
+        return relpath.startswith("serving/")
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            init = next(
+                (
+                    n
+                    for n in node.body
+                    if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            locks = _lock_attrs(init)
+            if not locks:
+                continue
+            guarded = _init_attrs(init) - locks
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" or method.name.endswith("_locked"):
+                    continue
+                visitor = _MethodVisitor(
+                    source, node.name, method.name, guarded, locks
+                )
+                for stmt in method.body:
+                    visitor.visit(stmt)
+                findings.extend(visitor.findings)
+        return findings

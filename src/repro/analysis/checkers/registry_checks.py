@@ -1,0 +1,202 @@
+"""registry completeness checker.
+
+Two halves of the spec-driven contract from PR 2/3:
+
+* ``registry-model`` — every concrete :class:`KGEModel` subclass under
+  ``models/`` / ``baselines/`` must carry ``@register_model``.  An
+  unregistered model is invisible to ``build_model``/``ModelSpec`` and to
+  checkpoint restore, which silently falls back to the legacy path.
+  Abstract intermediates live in ``models/base.py``, which is exempt;
+  everything else reachable (transitively) from a base-module class is
+  considered concrete.
+* ``registry-roundtrip`` — every dataclass field of the spec classes
+  (``ModelSpec``, ``ExperimentSpec``/``DataSpec``/``EvalSpec``,
+  ``TrainingConfig``) must be visible in both ``to_dict`` and
+  ``from_dict``.  A field added to the dataclass but forgotten in the
+  serializers round-trips to its default, which is exactly the class of
+  bug the spec-versioning machinery cannot catch.
+
+A field "appears" in a serializer when its name occurs as a string
+literal, attribute, bare name, or keyword argument anywhere in the method
+body — this tolerates renamed wire keys (``version`` serialised as
+``"spec_version"`` still reads ``self.version``).  Serializers built
+dynamically over ``fields(cls)`` / ``asdict`` / ``cls(**...)`` cover
+every field by construction and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile, register_checker
+
+_MODEL_DIRS = ("models/", "baselines/")
+_BASE_FILE = "models/base.py"
+_SPEC_FILES = ("registry.py", "experiment/spec.py", "training/config.py")
+
+
+def _base_names(node: ast.ClassDef) -> Set[str]:
+    out: Set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            out.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            out.add(base.attr)
+    return out
+
+
+def _has_register_model(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "register_model":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "register_model":
+            return True
+    return False
+
+
+def _model_findings(project: Project) -> List[Finding]:
+    base_src = project.file(_BASE_FILE)
+    roots: Set[str] = {"KGEModel"}
+    if base_src is not None:
+        roots |= {
+            n.name for n in base_src.tree.body if isinstance(n, ast.ClassDef)
+        }
+
+    # (class, bases, registered?, defining source) for every model-dir class.
+    classes: Dict[str, Tuple[ast.ClassDef, Set[str], bool, SourceFile]] = {}
+    for src in project.files:
+        if src.relpath == _BASE_FILE or not src.relpath.startswith(_MODEL_DIRS):
+            continue
+        for node in src.tree.body:
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (
+                    node,
+                    _base_names(node),
+                    _has_register_model(node),
+                    src,
+                )
+
+    def is_model(name: str, seen: Set[str]) -> bool:
+        if name in roots:
+            return True
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        return any(is_model(b, seen) for b in classes[name][1])
+
+    findings: List[Finding] = []
+    for name, (node, bases, registered, src) in sorted(classes.items()):
+        if name.startswith("_") or registered:
+            continue
+        if any(is_model(b, {name}) for b in bases):
+            findings.append(
+                src.finding(
+                    "registry-model",
+                    node,
+                    f"concrete KGEModel subclass {name} lacks "
+                    "@register_model — it cannot be built from a ModelSpec "
+                    "or restored from a checkpoint",
+                )
+            )
+    return findings
+
+
+def _names_in(body: Iterable[ast.stmt]) -> Set[str]:
+    out: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.add(node.value)
+            elif isinstance(node, ast.Name):
+                out.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                out.add(node.attr)
+            elif isinstance(node, ast.keyword) and node.arg:
+                out.add(node.arg)
+    return out
+
+
+def _is_dynamic(body: Iterable[ast.stmt]) -> bool:
+    """Serializers driven by dataclass introspection cover all fields."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                fn = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else ""
+                )
+                if fn in {"asdict", "fields"}:
+                    return True
+                if any(kw.arg is None for kw in node.keywords):  # cls(**...)
+                    return True
+    return False
+
+
+def _roundtrip_findings(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for relpath in _SPEC_FILES:
+        src = project.file(relpath)
+        if src is None:
+            continue
+        for node in src.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                n.name: n for n in node.body if isinstance(n, ast.FunctionDef)
+            }
+            to_dict = methods.get("to_dict")
+            from_dict = methods.get("from_dict")
+            if to_dict is None or from_dict is None:
+                continue
+            fields_ = [
+                (stmt.target.id, stmt)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and not (
+                    isinstance(stmt.annotation, ast.Subscript)
+                    and isinstance(stmt.annotation.value, ast.Name)
+                    and stmt.annotation.value.id == "ClassVar"
+                )
+            ]
+            for method in (to_dict, from_dict):
+                if _is_dynamic(method.body):
+                    continue
+                visible = _names_in(method.body)
+                for field_name, stmt in fields_:
+                    if field_name not in visible:
+                        findings.append(
+                            src.finding(
+                                "registry-roundtrip",
+                                stmt,
+                                f"{node.name}.{field_name} does not appear in "
+                                f"{method.name}() — the field will not "
+                                "round-trip through spec serialisation",
+                            )
+                        )
+    return findings
+
+
+@register_checker
+class RegistryCompletenessChecker(Checker):
+    name = "registry"
+    rule_ids = ("registry-model", "registry-roundtrip")
+    description = (
+        "every concrete model class must carry @register_model and every "
+        "spec dataclass field must round-trip through to_dict/from_dict"
+    )
+    trigger_prefixes = (
+        "models/",
+        "baselines/",
+        "registry.py",
+        "experiment/spec.py",
+        "training/config.py",
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return _model_findings(project) + _roundtrip_findings(project)

@@ -1,0 +1,38 @@
+"""Human-readable and JSON reporters for ``sptransx check``."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """flake8-style one-line-per-finding report plus a per-rule summary."""
+    if not findings:
+        return "sptransx check: no invariant violations found."
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule}: {f.message}" for f in findings
+    ]
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    summary = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    lines.append("")
+    lines.append(
+        f"sptransx check: {len(findings)} violation"
+        f"{'s' if len(findings) != 1 else ''} ({summary})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: ``{"violations": N, "findings": [...]}``."""
+    payload = {
+        "violations": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd import sanitizer as _sanitizer
 from repro.autograd.function import count_flops
 
 Number = Union[int, float, np.integer, np.floating]
@@ -146,6 +147,15 @@ class Tensor:
         parents = tuple(parents)
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
+        if _sanitizer.sanitize_enabled():
+            # Every op funnels through _make, so this one hook audits the
+            # whole tape: forward finiteness/dtype now, gradients when the
+            # wrapped closure fires.
+            _sanitizer.check_forward(out.data, parents, op)
+            if requires:
+                backward = _sanitizer.wrap_backward(
+                    backward, parents, op, out.data.shape, out.data.dtype
+                )
         if requires:
             out.requires_grad = True
             out._parents = parents

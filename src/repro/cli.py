@@ -24,6 +24,10 @@ API (:mod:`repro.experiment`):
 
     # list datasets / models / SpMM backends / registry capabilities
     sptransx info
+
+    # enforce the repo's cross-cutting invariants statically (CI gate)
+    sptransx check --format json
+    sptransx check --diff origin/main   # only files changed since the ref
 """
 
 from __future__ import annotations
@@ -90,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "files into the artifact (partitioned models only); "
                           "serve them with InferenceEngine.from_artifact("
                           "quantized=...) at 2-4x lower resident memory")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run training under the autograd sanitizer: every "
+                          "tape op is checked for NaN/Inf outputs, silent "
+                          "dtype widening, and gradient/output shape "
+                          "agreement (the failing op is named)")
     run.add_argument("--quiet", action="store_true")
 
     export = sub.add_parser(
@@ -159,6 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fetch serving statistics instead of querying")
 
     sub.add_parser("info", help="list datasets, models, and SpMM backends")
+
+    check = sub.add_parser(
+        "check",
+        help="run the repo's invariant checkers (static analysis) over src/")
+    check.add_argument("paths", nargs="*",
+                       help="repo-relative files to restrict the check to "
+                            "(default: the whole source tree)")
+    check.add_argument("--format", default="text", choices=["text", "json"],
+                       dest="format_", metavar="{text,json}",
+                       help="report format (json is what CI consumes)")
+    check.add_argument("--diff", default=None, metavar="REF",
+                       help="only report findings in files changed since the "
+                            "given git ref (keeps the gate fast on large trees)")
+    check.add_argument("--rules", default=None,
+                       help="comma-separated rule ids to run (default: all)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print every registered rule id and exit")
+    check.add_argument("--root", default=None,
+                       help="repo root to analyse (default: auto-detected)")
     return parser
 
 
@@ -225,6 +253,10 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                              "row-sparse gradients and stay in lockstep with "
                              "the single-worker trajectory")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="train under the autograd sanitizer (NaN/Inf, "
+                             "dtype-widening, and gradient-shape checks on "
+                             "every tape op)")
 
 
 # --------------------------------------------------------------------- #
@@ -288,6 +320,7 @@ def _experiment_spec_from_args(args: argparse.Namespace,
             log_every=0 if getattr(args, "quiet", True) else max(1, args.epochs // 10),
             sparse_grads=args.sparse_grads,
             num_workers=getattr(args, "workers", 1),
+            sanitize=getattr(args, "sanitize", False),
         )
         spec = ExperimentSpec(
             name=name if name is not None else f"{args.model}-{args.dataset.lower()}",
@@ -326,6 +359,8 @@ def _apply_run_overrides(spec: ExperimentSpec,
             sparse_grads=spec.model.sparse_grads or partitions > 1))
     if getattr(args, "backend", None) is not None:
         spec = spec.replace(model=spec.model.replace(backend=args.backend))
+    if getattr(args, "sanitize", False):
+        spec = spec.replace(training=spec.training.replace(sanitize=True))
     return spec
 
 
@@ -573,6 +608,59 @@ def _command_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _detect_repo_root() -> str:
+    """Repo root for `sptransx check`: cwd when it holds src/repro, else the
+    tree this installed package was imported from."""
+    import os
+
+    if os.path.isdir(os.path.join(os.getcwd(), "src", "repro")):
+        return os.getcwd()
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__))))
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    import subprocess
+
+    from repro.analysis import (
+        iter_rules,
+        render_json,
+        render_text,
+        run_checks,
+    )
+
+    if args.list_rules:
+        for rule, description in iter_rules():
+            print(f"{rule}: {description}")
+        return 0
+    rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
+             if args.rules else None)
+    if rules:
+        known = {rule for rule, _ in iter_rules()}
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            raise SystemExit(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"see `sptransx check --list-rules`")
+    root = args.root if args.root else _detect_repo_root()
+    try:
+        findings = run_checks(
+            root,
+            rules=rules,
+            paths=args.paths if args.paths else None,
+            diff_ref=args.diff,
+        )
+    except subprocess.CalledProcessError as exc:
+        raise SystemExit(
+            f"git diff against {args.diff!r} failed: "
+            f"{(exc.stderr or '').strip()}") from exc
+    print(render_json(findings) if args.format_ == "json"
+          else render_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -585,6 +673,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "serve": _command_serve,
         "query": _command_query,
         "info": _command_info,
+        "check": _command_check,
     }
     handler = commands.get(args.command)
     if handler is None:

@@ -170,7 +170,7 @@ def generate_learnable_kg(
         targets = positions[heads] + translations[rels]
         sq_dists = ((targets[:, None, :] - positions[None, :, :]) ** 2).sum(axis=2)
         # A head can never be its own tail.
-        sq_dists[np.arange(chunk), heads] = np.inf
+        sq_dists[np.arange(chunk, dtype=np.int64), heads] = np.inf
         logits = -sq_dists / temperature
         logits -= logits.max(axis=1, keepdims=True)
         probs = np.exp(logits)

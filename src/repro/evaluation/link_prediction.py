@@ -31,8 +31,10 @@ class LinkPredictionResult:
     mrr: float
     hits: Dict[int, float]
     protocol: str = RankingProtocol.FILTERED.value
-    head_ranks: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
-    tail_ranks: np.ndarray = field(default_factory=lambda: np.empty(0), repr=False)
+    head_ranks: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64), repr=False)
+    tail_ranks: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64), repr=False)
 
     def hits_at(self, k: int) -> float:
         """Convenience accessor for ``hits[k]``."""
@@ -119,8 +121,10 @@ def evaluate_link_prediction(
                         if protocol is RankingProtocol.FILTERED else None)
         head_rank_chunks.append(compute_ranks(head_scores, heads, head_filters))
 
-    tail_ranks = np.concatenate(tail_rank_chunks) if tail_rank_chunks else np.empty(0)
-    head_ranks = np.concatenate(head_rank_chunks) if head_rank_chunks else np.empty(0)
+    tail_ranks = (np.concatenate(tail_rank_chunks) if tail_rank_chunks
+                  else np.empty(0, dtype=np.float64))
+    head_ranks = (np.concatenate(head_rank_chunks) if head_rank_chunks
+                  else np.empty(0, dtype=np.float64))
     all_ranks = np.concatenate([tail_ranks, head_ranks])
 
     return LinkPredictionResult(

@@ -67,7 +67,7 @@ def compute_ranks(
             exclude = exclude[exclude != true_indices[row]]
             working[row, exclude] = np.inf
 
-    target = working[np.arange(b), true_indices]
+    target = working[np.arange(b, dtype=np.int64), true_indices]
     better = (working < target[:, None]).sum(axis=1)
     ties = (working == target[:, None]).sum(axis=1) - 1  # exclude the target itself
     return (better + ties / 2.0 + 1).astype(np.float64)

@@ -58,7 +58,8 @@ class Embedding(Module, EmbeddingTable):
         self.num_embeddings = int(num_embeddings)
         self.embedding_dim = int(embedding_dim)
         self.sparse_grad = bool(sparse_grad)
-        weight = Parameter(np.empty((num_embeddings, embedding_dim)), name="weight")
+        weight = Parameter(np.empty((num_embeddings, embedding_dim),
+                                    dtype=np.float64), name="weight")
         init.xavier_uniform_(weight, rng=new_rng(rng))
         self.weight = weight
 
@@ -134,7 +135,8 @@ class StackedEmbedding(Module):
         self.n_relations = int(n_relations)
         self.embedding_dim = int(embedding_dim)
         self.sparse_grad = bool(sparse_grad)
-        weight = Parameter(np.empty((n_entities + n_relations, embedding_dim)), name="stacked")
+        weight = Parameter(np.empty((n_entities + n_relations, embedding_dim),
+                                    dtype=np.float64), name="stacked")
         init.xavier_uniform_(weight, rng=new_rng(rng))
         self.weight = weight
 
@@ -305,7 +307,7 @@ class MemoryMappedEmbedding(Module, EmbeddingTable):
             )
         # Accumulate duplicate-row gradients before the single write-back.
         unique, inverse = np.unique(rows, return_inverse=True)
-        accum = np.zeros((unique.size, self.embedding_dim))
+        accum = np.zeros((unique.size, self.embedding_dim), dtype=np.float64)
         np.add.at(accum, inverse, grad)
         self._memmap[unique] -= lr * accum
         self._memmap.flush()

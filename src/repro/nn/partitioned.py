@@ -80,7 +80,8 @@ class BucketParameter(Parameter):
         self._bucket = int(bucket)
         self._bucket_shape = (int(rows), int(dim))
         self._slab: Optional[np.ndarray] = None
-        super().__init__(np.empty((0, int(dim))), requires_grad=True, name=name)
+        super().__init__(np.empty((0, int(dim)), dtype=np.float64),
+                         requires_grad=True, name=name)
         self._slab = None  # constructed evicted; the owner faults on demand
 
     # ``data`` shadows the Tensor slot with a faulting property.
@@ -200,7 +201,8 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         }
 
         # Relations: small, dense, always resident.
-        self.relations = Parameter(np.empty((self.n_relations, self._embedding_dim)),
+        self.relations = Parameter(np.empty((self.n_relations, self._embedding_dim),
+                                            dtype=np.float64),
                                    name="relations")
         # Bucket parameters (attribute registration keeps them in
         # named_parameters for optimizers, digests, and the DDP wire format).
@@ -667,7 +669,8 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         """
         entity_ids = np.asarray(entity_ids, dtype=np.int64)
         relation_ids = np.asarray(relation_ids, dtype=np.int64)
-        out = np.empty((entity_ids.size + relation_ids.size, self._embedding_dim))
+        out = np.empty((entity_ids.size + relation_ids.size, self._embedding_dim),
+                       dtype=np.float64)
         parents: List[Parameter] = []
         for bucket, sl, local in self._bucket_slices(entity_ids):
             self._fault(bucket)

@@ -116,7 +116,7 @@ class EmbeddingTable:
 
     def to_matrix(self) -> np.ndarray:
         """Densify the whole table (debugging / small-scale use only)."""
-        out = np.empty((self.n_rows, self.embedding_dim))
+        out = np.empty((self.n_rows, self.embedding_dim), dtype=np.float64)
         for start, block in self.iter_blocks():
             out[start:start + block.shape[0]] = block
         return out

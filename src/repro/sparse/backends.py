@@ -172,7 +172,11 @@ _IRREGULAR = object()
 
 
 def _probe_regular_pattern(coo: COOMatrix):
-    """The actual pattern inspection behind :func:`_regular_pattern`."""
+    """The actual pattern inspection behind :func:`_regular_pattern`.
+
+    Returns the constant per-row nnz ``k`` when the pattern is regular,
+    else ``None``.
+    """
     m = coo.shape[0]
     if m == 0 or coo.nnz % m != 0:
         return None
@@ -182,7 +186,7 @@ def _probe_regular_pattern(coo: COOMatrix):
         return None
     if k > 1 and not (rows == rows[:, :1]).all():
         return None
-    return coo.cols.reshape(m, k), coo.values.reshape(m, k)
+    return k
 
 
 def _regular_pattern(coo: COOMatrix):
@@ -194,10 +198,15 @@ def _regular_pattern(coo: COOMatrix):
     on every call.  Returns ``(cols, vals)`` reshaped to ``(m, k)`` when the
     fast path applies, else ``None``.
 
-    The verdict is memoised on the matrix itself: an incidence matrix reused
-    across steps (full-batch training, the serving engine's cached matrices,
-    benchmark loops) pays for the probe exactly once — every later call is a
-    single attribute read.
+    The verdict is memoised on the matrix itself, and only the verdict: the
+    cache payload is the scalar ``k`` (or the ``_IRREGULAR`` sentinel), never
+    the reshaped arrays.  The memo is therefore O(1) bytes per matrix and —
+    because it lives in a ``__slots__`` attribute on the instance, not in any
+    module-level table — dies with the matrix: the per-episode sub-incidence
+    matrices the partitioned trainer remaps by the thousand leave nothing
+    behind.  The ``(m, k)`` views handed back are rebuilt from the instance's
+    *current* ``cols``/``values`` buffers on every call (a reshape is free),
+    so the memo can never pin or serve stale array storage either.
     """
     cached = getattr(coo, "_regular_cache", None)
     if cached is None:
@@ -208,7 +217,10 @@ def _regular_pattern(coo: COOMatrix):
             coo._regular_cache = cached
         except AttributeError:  # pragma: no cover - foreign COO-likes
             pass
-    return None if cached is _IRREGULAR else cached
+    if cached is _IRREGULAR:
+        return None
+    m = coo.shape[0]
+    return coo.cols.reshape(m, cached), coo.values.reshape(m, cached)
 
 
 def _fused_spmm(A: SparseLike, X: np.ndarray) -> np.ndarray:

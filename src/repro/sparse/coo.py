@@ -29,9 +29,13 @@ class COOMatrix:
     __slots__ = ("rows", "cols", "values", "shape", "_regular_cache")
 
     def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
-        # Memoised result of the fused kernels' constant-nnz pattern probe
+        # Memoised verdict of the fused kernels' constant-nnz pattern probe
         # (see repro.sparse.backends._regular_pattern); the index arrays are
         # immutable by convention, so the probe need only run once per matrix.
+        # The payload is O(1) — the scalar per-row nnz or an "irregular"
+        # sentinel, never array views — and, living in this slot, it is
+        # reclaimed with the matrix: transient sub-incidence matrices (one per
+        # partition episode) grow no global state.
         self._regular_cache = None
         rows = np.ascontiguousarray(rows, dtype=np.int64)
         cols = np.ascontiguousarray(cols, dtype=np.int64)
@@ -147,7 +151,7 @@ class COOMatrix:
         if row_indices.size and (row_indices.min() < 0 or row_indices.max() >= self.shape[0]):
             raise IndexError("row index out of bounds")
         remap = -np.ones(self.shape[0], dtype=np.int64)
-        remap[row_indices] = np.arange(row_indices.size)
+        remap[row_indices] = np.arange(row_indices.size, dtype=np.int64)
         keep = remap[self.rows] >= 0
         return COOMatrix(
             remap[self.rows[keep]],

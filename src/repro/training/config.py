@@ -55,6 +55,12 @@ class TrainingConfig:
         global batch across ``N`` OS processes that exchange row-sparse
         gradients (:class:`~repro.training.multiprocess.MultiprocessTrainer`)
         and follow the single-worker trajectory.
+    sanitize:
+        Enable the autograd sanitizer (:func:`repro.autograd.sanitize`) for
+        the duration of the run: every tape op is audited for NaN/Inf
+        outputs, silent dtype widening, and gradient/output shape agreement,
+        with the offending op named on failure.  Off by default; the CI
+        smoke jobs turn it on via ``sptransx run --sanitize``.
     """
 
     epochs: int = 100
@@ -69,6 +75,7 @@ class TrainingConfig:
     log_every: int = 0
     sparse_grads: bool = False
     num_workers: int = 1
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd.sanitizer import sanitize
 from repro.data.batching import TripletBatch
 from repro.losses.margin import MarginRankingLoss
 from repro.models.base import KGEModel
@@ -199,6 +200,10 @@ def _worker_main(rank: int, world: int, model: KGEModel,
         # write back into each other's buckets.
         for table in tables:
             table.rehome()
+        if config.sanitize:
+            # Sanitizer state is thread-local; re-arm it explicitly in each
+            # forked replica rather than relying on fork inheritance.
+            sanitize(True)
         criterion = MarginRankingLoss(margin=config.margin)
         optimizer = build_optimizer(config.optimizer, model, config.learning_rate)
         if hasattr(model, "bind_optimizer"):
@@ -267,6 +272,10 @@ class MultiprocessTrainer:
         self.batch_factory = batch_factory
         self.n_workers = int(n_workers)
         self.config = config if config is not None else TrainingConfig()
+        if self.config.sanitize:
+            # The parent applies merged gradients itself, so it runs under
+            # the sanitizer too; workers re-arm it in _worker_main.
+            sanitize(True)
         if hasattr(model, "set_sparse_grads"):
             model.set_sparse_grads(self.config.sparse_grads)
         self.comm_model = comm_model if comm_model is not None else CommunicationModel()

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.sanitizer import sanitize
 from repro.data.batching import BatchIterator, TripletBatch
 from repro.data.dataset import KGDataset
 from repro.data.negative_sampling import NegativeSampler, UniformNegativeSampler
@@ -164,6 +165,8 @@ class Trainer:
         # model reused across trainers does not keep a stale sparse setting.
         if hasattr(model, "set_sparse_grads"):
             model.set_sparse_grads(self.config.sparse_grads)
+        if self.config.sanitize:
+            sanitize(True)
         self.optimizer = optimizer if optimizer is not None else build_optimizer(
             self.config.optimizer, model, self.config.learning_rate
         )

@@ -1,0 +1,474 @@
+"""Fixture-driven tests for the ``sptransx check`` static-analysis rules.
+
+Each fixture is a miniature project in a tmpdir using the same
+``src/repro`` + ``tests/`` layout as the real repo, so the tests exercise
+the actual driver (discovery, scoping, suppression filtering) — not just
+the visitors.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, iter_checkers, iter_rules, run_checks
+
+
+def make_project(tmp_path: Path, files: dict) -> Path:
+    """Write ``{relpath: source}`` into a repo-shaped tmpdir."""
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+def rules_of(findings) -> set:
+    return {f.rule for f in findings}
+
+
+class TestFramework:
+    def test_all_nine_rules_registered(self):
+        rule_ids = {rule for rule, _ in iter_rules()}
+        assert rule_ids == {
+            "dtype-ctor",
+            "dtype-promotion",
+            "fork-module-lock",
+            "fork-sqlite",
+            "fork-atexit",
+            "lock-discipline",
+            "kernel-parity",
+            "registry-model",
+            "registry-roundtrip",
+        }
+
+    def test_every_checker_describes_itself(self):
+        for checker in iter_checkers():
+            assert checker.name and checker.rule_ids and checker.description
+
+    def test_empty_project_is_clean(self, tmp_path):
+        assert run_checks(tmp_path) == []
+
+    def test_findings_sorted_and_serialisable(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/b.py": "import numpy as np\nx = np.empty(3)\n",
+            "src/repro/sparse/a.py": "import numpy as np\ny = np.zeros(3)\n",
+        })
+        findings = run_checks(tmp_path)
+        assert [f.path for f in findings] == [
+            "src/repro/sparse/a.py", "src/repro/sparse/b.py",
+        ]
+        payload = findings[0].to_dict()
+        assert payload["rule"] == "dtype-ctor"
+        assert payload["line"] == 2
+
+
+class TestDtypeChecker:
+    def test_bare_ctor_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "def f(n):\n"
+                "    return np.empty(n)\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["dtype-ctor"])
+        assert len(findings) == 1
+        assert findings[0].line == 3
+        assert "np.empty" in findings[0].message
+
+    def test_explicit_dtype_passes(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "def f(n, dt):\n"
+                "    a = np.empty(n, dtype=dt)\n"
+                "    b = np.zeros((n, 2), dtype=np.float64)\n"
+                "    c = np.arange(n, dtype=np.int64)\n"
+                "    return a, b, c\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["dtype-ctor"]) == []
+
+    def test_astype_builtin_float_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/nn/mod.py": (
+                "def f(x):\n"
+                "    return x.astype(float)\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["dtype-promotion"])
+        assert len(findings) == 1
+        assert "astype(float)" in findings[0].message
+
+    def test_dtype_builtin_kwarg_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/losses/mod.py": (
+                "import numpy as np\n"
+                "x = np.zeros(4, dtype=float)\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"dtype-promotion"}
+
+    def test_float_literal_array_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/evaluation/mod.py": (
+                "import numpy as np\n"
+                "x = np.array([1.0, 2.0])\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"dtype-promotion"}
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/utils/mod.py": "import numpy as np\nx = np.empty(3)\n",
+        })
+        assert run_checks(tmp_path, rules=["dtype-ctor"]) == []
+
+
+class TestForkSafetyChecker:
+    def _trainer(self, body: str = "") -> str:
+        return "from repro.training import helpers\n" + body
+
+    def test_module_level_lock_in_import_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": self._trainer(),
+            "src/repro/training/helpers.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["fork-module-lock"])
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/training/helpers.py"
+
+    def test_aliased_lock_import_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": (
+                "from threading import RLock as L\n"
+                "_GUARD = L()\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"fork-module-lock"}
+
+    def test_sqlite_connect_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": (
+                "import sqlite3\n"
+                "def open_store(path):\n"
+                "    return sqlite3.connect(path)\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"fork-sqlite"}
+
+    def test_atexit_register_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": (
+                "import atexit\n"
+                "def install(handler):\n"
+                "    atexit.register(handler)\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"fork-atexit"}
+
+    def test_instance_lock_passes(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": (
+                "import threading\n"
+                "class T:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_unimported_module_not_in_scope(self, tmp_path):
+        # The lock lives in a module the trainer never imports: not in the
+        # fork closure, so fork-safety has nothing to say about it.
+        make_project(tmp_path, {
+            "src/repro/training/multiprocess.py": "x = 1\n",
+            "src/repro/serving/helpers.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["fork-module-lock"]) == []
+
+
+_LOCKED_CLASS = """\
+import threading
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        {bump_body}
+
+    def _reset_locked(self):
+        self.count = 0
+"""
+
+
+class TestLockDisciplineChecker:
+    def test_unlocked_mutation_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/serving/engine.py": _LOCKED_CLASS.format(
+                bump_body="self.count += 1"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["lock-discipline"])
+        assert len(findings) == 1
+        assert "Engine.bump" in findings[0].message
+        assert "self._lock" in findings[0].message
+
+    def test_locked_mutation_passes(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/serving/engine.py": _LOCKED_CLASS.format(
+                bump_body="with self._lock:\n            self.count += 1"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-discipline"]) == []
+
+    def test_locked_suffix_method_exempt(self, tmp_path):
+        # _reset_locked mutates self.count bare, but the suffix marks the
+        # caller-holds-lock convention.
+        make_project(tmp_path, {
+            "src/repro/serving/engine.py": _LOCKED_CLASS.format(
+                bump_body="with self._lock:\n            self._reset_locked()"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-discipline"]) == []
+
+    def test_nested_callback_loses_the_lock(self, tmp_path):
+        body = (
+            "with self._lock:\n"
+            "            def cb():\n"
+            "                self.count += 1\n"
+            "            return cb"
+        )
+        make_project(tmp_path, {
+            "src/repro/serving/engine.py": _LOCKED_CLASS.format(bump_body=body),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"lock-discipline"}
+
+    def test_class_without_lock_ignored(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/serving/stats.py": (
+                "class Stats:\n"
+                "    def __init__(self):\n"
+                "        self.count = 0\n"
+                "    def bump(self):\n"
+                "        self.count += 1\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-discipline"]) == []
+
+    def test_outside_serving_ignored(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/utils/engine.py": _LOCKED_CLASS.format(
+                bump_body="self.count += 1"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-discipline"]) == []
+
+
+class TestKernelParityChecker:
+    FILES = {
+        "src/repro/sparse/backends.py": (
+            "def register_backend(name, fn=None):\n"
+            "    pass\n"
+            'register_backend("fast", None)\n'
+            'register_backend("slow", None)\n'
+        ),
+        "src/repro/sparse/kernels.py": (
+            "def covered_kernel(x):\n"
+            "    return x\n"
+            "def orphan_kernel(x):\n"
+            "    return x\n"
+            "def _private(x):\n"
+            "    return x\n"
+        ),
+        "tests/sparse/test_parity.py": (
+            'BACKEND = "fast"\n'
+            "def test_covered_kernel():\n"
+            "    assert covered_kernel\n"
+        ),
+    }
+
+    def test_uncovered_backend_and_kernel_flagged(self, tmp_path):
+        make_project(tmp_path, dict(self.FILES))
+        findings = run_checks(tmp_path, rules=["kernel-parity"])
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert '"slow"' in messages
+        assert "orphan_kernel" in messages
+        assert "_private" not in messages
+
+    def test_full_coverage_passes(self, tmp_path):
+        files = dict(self.FILES)
+        files["tests/sparse/test_more.py"] = (
+            'B = "slow"\n'
+            "def test_orphan_kernel():\n"
+            "    assert orphan_kernel\n"
+        )
+        make_project(tmp_path, files)
+        assert run_checks(tmp_path, rules=["kernel-parity"]) == []
+
+    def test_substring_name_does_not_count(self, tmp_path):
+        # "fastest" must not cover backend "fast"-style word matching for
+        # kernels: the kernel name needs a word-boundary match.
+        files = dict(self.FILES)
+        files["tests/sparse/test_parity.py"] = (
+            'BACKEND = "fast"\n'
+            'OTHER = "slow"\n'
+            "def test_x():\n"
+            "    assert covered_kernel and orphan_kernelish\n"
+        )
+        make_project(tmp_path, files)
+        findings = run_checks(tmp_path, rules=["kernel-parity"])
+        assert len(findings) == 1
+        assert "orphan_kernel" in findings[0].message
+
+
+_MODEL_FILES = {
+    "src/repro/models/base.py": (
+        "class KGEModel:\n"
+        "    pass\n"
+        "class SparseKGEModel(KGEModel):\n"
+        "    pass\n"
+    ),
+    "src/repro/models/good.py": (
+        "from repro.registry import register_model\n"
+        "from repro.models.base import SparseKGEModel\n"
+        '@register_model("good")\n'
+        "class GoodModel(SparseKGEModel):\n"
+        "    pass\n"
+    ),
+}
+
+
+class TestRegistryChecker:
+    def test_unregistered_concrete_model_flagged(self, tmp_path):
+        files = dict(_MODEL_FILES)
+        files["src/repro/models/bad.py"] = (
+            "from repro.models.base import SparseKGEModel\n"
+            "class BadModel(SparseKGEModel):\n"
+            "    pass\n"
+        )
+        make_project(tmp_path, files)
+        findings = run_checks(tmp_path, rules=["registry-model"])
+        assert len(findings) == 1
+        assert "BadModel" in findings[0].message
+
+    def test_registered_and_transitive_pass(self, tmp_path):
+        files = dict(_MODEL_FILES)
+        files["src/repro/models/derived.py"] = (
+            "from repro.registry import register_model\n"
+            "from repro.models.good import GoodModel\n"
+            '@register_model("derived")\n'
+            "class DerivedModel(GoodModel):\n"
+            "    pass\n"
+        )
+        make_project(tmp_path, files)
+        assert run_checks(tmp_path, rules=["registry-model"]) == []
+
+    def test_private_and_unrelated_classes_ignored(self, tmp_path):
+        files = dict(_MODEL_FILES)
+        files["src/repro/models/misc.py"] = (
+            "from repro.models.base import SparseKGEModel\n"
+            "class _Mixin(SparseKGEModel):\n"
+            "    pass\n"
+            "class PlainHelper:\n"
+            "    pass\n"
+        )
+        make_project(tmp_path, files)
+        assert run_checks(tmp_path, rules=["registry-model"]) == []
+
+    def test_missing_field_in_serializer_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/registry.py": (
+                "class ModelSpec:\n"
+                "    model: str = ''\n"
+                "    dim: int = 0\n"
+                "    def to_dict(self):\n"
+                "        return {'model': self.model, 'dim': self.dim}\n"
+                "    @classmethod\n"
+                "    def from_dict(cls, d):\n"
+                "        return cls(model=d['model'])\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["registry-roundtrip"])
+        assert len(findings) == 1
+        assert "ModelSpec.dim" in findings[0].message
+        assert "from_dict" in findings[0].message
+
+    def test_dynamic_serializer_passes(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/training/config.py": (
+                "from dataclasses import asdict\n"
+                "class TrainingConfig:\n"
+                "    epochs: int = 1\n"
+                "    sanitize: bool = False\n"
+                "    def to_dict(self):\n"
+                "        return asdict(self)\n"
+                "    @classmethod\n"
+                "    def from_dict(cls, d):\n"
+                "        return cls(**d)\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["registry-roundtrip"]) == []
+
+
+class TestSuppressions:
+    BAD = "import numpy as np\nx = np.empty(3)\n"
+
+    def test_line_suppression(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3)  # repro: ignore[dtype-ctor]\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_line_suppression_is_rule_specific(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3)  # repro: ignore[lock-discipline]\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"dtype-ctor"}
+
+    def test_bare_ignore_suppresses_all_rules(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3, dtype=float)  # repro: ignore\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_file_suppression(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "# repro: ignore-file[dtype-ctor]\n"
+                "import numpy as np\n"
+                "x = np.empty(3)\n"
+                "y = np.zeros(4)\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_suppression_does_not_leak_to_other_lines(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3)  # repro: ignore[dtype-ctor]\n"
+                "y = np.empty(4)\n"
+            ),
+        })
+        findings = run_checks(tmp_path)
+        assert len(findings) == 1
+        assert findings[0].line == 3

@@ -1,0 +1,82 @@
+"""The regular-pattern memo must stay O(1) per matrix and never go stale."""
+
+import sys
+
+import numpy as np
+
+from repro.sparse import backends as backends_mod
+from repro.sparse.backends import _IRREGULAR, _regular_pattern
+from repro.sparse.coo import COOMatrix
+from repro.sparse.incidence import IncidenceBuilder
+
+
+def _regular_matrix(m=8, n=6, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(m, dtype=np.int64), k)
+    cols = rng.integers(0, n, size=m * k).astype(np.int64)
+    vals = rng.standard_normal(m * k)
+    return COOMatrix(rows, cols, vals, (m, n))
+
+
+class TestMemoPayload:
+    def test_payload_is_scalar_metadata_not_arrays(self):
+        coo = _regular_matrix(k=3)
+        assert _regular_pattern(coo) is not None
+        # The memo holds the per-row nnz, not reshaped views: creating many
+        # transient matrices can never pin array storage through the cache.
+        assert coo._regular_cache == 3
+        assert not isinstance(coo._regular_cache, np.ndarray)
+        assert sys.getsizeof(coo._regular_cache) < 64
+
+    def test_irregular_payload_is_sentinel(self):
+        coo = COOMatrix(np.array([0, 0, 1]), np.array([0, 1, 0]),
+                        np.ones(3), (3, 2))
+        assert _regular_pattern(coo) is None
+        assert coo._regular_cache is _IRREGULAR
+
+    def test_views_rebuilt_from_current_buffers(self):
+        # Reshape-on-read means the memo can never serve stale storage even
+        # if the values buffer is swapped after the first probe.
+        coo = _regular_matrix(k=2)
+        first_cols, first_vals = _regular_pattern(coo)
+        coo.values = np.zeros_like(coo.values)
+        _, second_vals = _regular_pattern(coo)
+        assert second_vals.base is coo.values
+        assert np.all(second_vals == 0.0)
+        assert first_vals.shape == second_vals.shape
+
+    def test_no_module_level_growth(self):
+        # The memo lives on the instance (__slots__), so a sweep of
+        # transient per-episode sub-incidence matrices leaves the backends
+        # module's globals untouched.
+        before = {
+            name: v for name, v in vars(backends_mod).items()
+            if isinstance(v, dict)
+        }
+        sizes_before = {name: len(v) for name, v in before.items()}
+        triples = np.column_stack([
+            np.arange(30) % 40,
+            np.arange(30) % 4,
+            (np.arange(30) * 7) % 40,
+        ]).astype(np.int64)
+        builder = IncidenceBuilder(n_entities=40, n_relations=4, fmt="coo")
+        full = builder.hrt(triples)
+        for start in range(0, 30, 5):
+            sub = full.select_rows(np.arange(start, start + 5, dtype=np.int64))
+            assert _regular_pattern(sub) is not None
+        sizes_after = {
+            name: len(v) for name, v in vars(backends_mod).items()
+            if isinstance(v, dict) and name in sizes_before
+        }
+        assert sizes_after == sizes_before
+
+    def test_probe_still_correct_through_select_rows(self):
+        full = _regular_matrix(m=10, k=3, seed=4)
+        sub = full.select_rows(np.array([1, 4, 7], dtype=np.int64))
+        pattern = _regular_pattern(sub)
+        assert pattern is not None
+        cols, vals = pattern
+        assert cols.shape == (3, 3)
+        dense_sub = sub.to_dense()
+        dense_full = full.to_dense()
+        np.testing.assert_array_equal(dense_sub, dense_full[[1, 4, 7]])
