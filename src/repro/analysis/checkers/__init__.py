@@ -1,6 +1,7 @@
 """Built-in checkers; importing this package registers them all."""
 
 from repro.analysis.checkers import (  # noqa: F401
+    ann_recall,
     dtype,
     fork_safety,
     kernel_parity,

@@ -1,0 +1,76 @@
+"""ann-recall coverage checker.
+
+ANN indexes trade exactness for speed, so every index kind is only
+trustworthy with a recall/parity test pinning its behaviour: full-probe
+searches must match the exact ranking bit-for-bit, and bounded-probe
+recall must be measured, not assumed.  ``tests/ann/`` holds those tests.
+This rule makes the coverage machine-checked, mirroring ``kernel-parity``
+for SpMM backends: adding ``@register_index("mynew")`` without a
+``tests/ann/`` test containing the string ``"mynew"`` fails
+``sptransx check`` before a reviewer has to remember the convention.
+
+* ``ann-recall`` findings point at the class definition of the uncovered
+  index kind.
+* Index kinds count as covered when their registry name appears as a
+  string literal in any ``tests/ann/*.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.core import Checker, Finding, Project, register_checker
+
+_ANN_PREFIX = "ann/"
+_TESTS_PREFIX = "tests/ann/"
+
+
+def _registered_indexes(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """``(kind, class node)`` for every ``@register_index("kind")`` class."""
+    out: List[Tuple[str, ast.AST]] = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        for deco in stmt.decorator_list:
+            if (
+                isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Name)
+                and deco.func.id == "register_index"
+                and deco.args
+                and isinstance(deco.args[0], ast.Constant)
+                and isinstance(deco.args[0].value, str)
+            ):
+                out.append((deco.args[0].value, stmt))
+    return out
+
+
+@register_checker
+class AnnRecallChecker(Checker):
+    name = "ann-recall"
+    rule_ids = ("ann-recall",)
+    description = (
+        "every registered ANN index kind must be named by a recall/parity "
+        "test under tests/ann/"
+    )
+    trigger_prefixes = ("ann/", "tests/ann/")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        tests = [
+            t for t in project.test_files if t.relpath.startswith(_TESTS_PREFIX)
+        ]
+        corpus = "\n".join(t.text for t in tests)
+        for src in project.iter_package(_ANN_PREFIX):
+            for kind, node in _registered_indexes(src.tree):
+                if (f'"{kind}"' not in corpus) and (f"'{kind}'" not in corpus):
+                    findings.append(
+                        src.finding(
+                            "ann-recall",
+                            node,
+                            f'ANN index kind "{kind}" is registered but no '
+                            f"tests/ann/ test names it; add a full-probe "
+                            "parity test and a bounded-probe recall test",
+                        )
+                    )
+        return findings

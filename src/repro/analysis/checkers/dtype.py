@@ -39,7 +39,7 @@ _CTOR_DTYPE_POS = {
 
 _NUMPY_NAMES = {"np", "numpy"}
 
-_SCOPES = ("sparse/", "nn/", "losses/", "evaluation/")
+_SCOPES = ("sparse/", "nn/", "losses/", "evaluation/", "ann/")
 _SCOPE_FILES = ("ranking.py", "data/synthetic.py")
 
 

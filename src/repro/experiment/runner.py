@@ -463,6 +463,15 @@ class Experiment:
         # save_checkpoint (a partitioned npz is incomplete without them).
         if not partitioned_tables(result.model):
             save_weight_files(directory, result.model)
+        if self.spec.model.ann is not None:
+            # ANN serving index built at artifact-write time: cluster the
+            # just-written bucket files and record the auto- (or spec-) chosen
+            # nprobe in index/index.json — from_artifact(ann="auto") picks the
+            # index up with no extra flags.
+            from repro.ann import build_index_files
+
+            build_index_files(directory, kind=self.spec.model.ann,
+                              nprobe=self.spec.model.nprobe)
         _write_json(os.path.join(directory, ARTIFACT_METRICS), result.metrics)
         _write_json(os.path.join(directory, ARTIFACT_HISTORY), {
             "losses": result.training.losses,

@@ -445,7 +445,7 @@ class ExperimentSpec:
             model_payload,
             ("spec_version", "model", "formulation", "n_entities", "n_relations",
              "embedding_dim", "relation_dim", "backend", "dissimilarity",
-             "sparse_grads", "partitions"),
+             "sparse_grads", "partitions", "ann", "nprobe"),
             "model")
         if "n_entities" not in model_payload or "n_relations" not in model_payload:
             sizes = data.vocab_sizes()

@@ -169,6 +169,19 @@ class KGEModel(Module):
         """Binary triple classification: True when dissimilarity <= threshold."""
         return self.score_triples(triples) <= float(threshold)
 
+    def l2_query_vector(self, anchor: int, relation: int,
+                        direction: str) -> Optional[np.ndarray]:
+        """Embedding-space query vector when ranking reduces to an L2 kNN.
+
+        Models whose ``score_all_*`` is exactly ``||q − t'||`` over the entity
+        table return the float64 query ``q`` (TransE: ``h + r`` for tails,
+        ``t − r`` for heads) so the serving engine can route the query through
+        an ANN index and rescore candidates with the identical closed form.
+        The default returns ``None`` — "not L2-rankable" — which makes ANN
+        serving fall back to exact ranking for this model.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # Introspection / maintenance
     # ------------------------------------------------------------------ #

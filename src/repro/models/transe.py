@@ -303,14 +303,27 @@ class SpTransE(TranslationalModel):
         (L1 / overridden reductions), telling the caller to serve the coarse
         ranking as-is.
         """
-        if not self._l2_gemm_applies():
+        query = self.l2_query_vector(anchor, relation, direction)
+        if query is None:
             return None
         candidates = np.asarray(candidates, dtype=np.int64).reshape(-1)
+        return l2_distance_matrix(query[None, :], self.exact_entity_rows(candidates))[0]
+
+    def l2_query_vector(self, anchor: int, relation: int,
+                        direction: str) -> Optional[np.ndarray]:
+        """Float64 L2 query (``h + r`` / ``t − r``) when the closed form applies.
+
+        Shared by :meth:`exact_candidate_scores` and the serving engine's
+        ANN routing, so an IVF-rescored ranking and an exact rescored ranking
+        score candidates from literally the same query vector.  ``None`` for
+        L1 / overridden reductions (the caller falls back to exact ranking).
+        """
+        if not self._l2_gemm_applies():
+            return None
         anchor_row = self.exact_entity_rows(np.array([anchor]))[0]
         rel_row = np.asarray(self._relation_rows(np.array([relation]))[0],
                              dtype=np.float64)
-        query = anchor_row + rel_row if direction == "tail" else anchor_row - rel_row
-        return l2_distance_matrix(query[None, :], self.exact_entity_rows(candidates))[0]
+        return anchor_row + rel_row if direction == "tail" else anchor_row - rel_row
 
     # ------------------------------------------------------------------ #
     # Introspection / maintenance

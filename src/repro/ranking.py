@@ -162,12 +162,22 @@ def nearest_rows(query: np.ndarray,
     the running candidate set is re-selected, keeping memory O(block + k).
     Returns ``(indices, distances)`` ascending; ``exclude`` drops one row id
     (the query itself).
+
+    The distance dtype follows NumPy promotion of the query and block dtypes
+    (the :func:`l2_distance_matrix` contract): an fp16 query against fp16
+    blocks yields fp16 distances, never a silent float64 upcast.  Non-float
+    queries (e.g. integer test fixtures) are cast to float64.
     """
     best_idx = np.empty(0, dtype=np.int64)
-    best_dist = np.empty(0, dtype=np.float64)
-    q = np.asarray(query, dtype=np.float64)[None, :]
+    best_dist: Optional[np.ndarray] = None
+    q = np.asarray(query)
+    if not np.issubdtype(q.dtype, np.floating):
+        q = np.asarray(q, dtype=np.float64)
+    q = q[None, :]
     for start, block in blocks:
         dist = l2_distance_matrix(q, block)[0]
+        if best_dist is None:
+            best_dist = np.empty(0, dtype=dist.dtype)
         idx = np.arange(start, start + block.shape[0], dtype=np.int64)
         if exclude is not None and start <= exclude < start + block.shape[0]:
             dist[exclude - start] = np.inf
@@ -175,5 +185,7 @@ def nearest_rows(query: np.ndarray,
         merged_dist = np.concatenate([best_dist, dist])
         keep = top_k(merged_dist, k)
         best_idx, best_dist = merged_idx[keep], merged_dist[keep]
+    if best_dist is None:
+        best_dist = np.empty(0, dtype=np.float64)
     finite = np.isfinite(best_dist)
     return best_idx[finite], best_dist[finite]

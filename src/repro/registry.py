@@ -229,6 +229,13 @@ class ModelSpec:
     dissimilarity: Optional[str] = None
     sparse_grads: bool = False
     partitions: Optional[int] = None
+    #: Serving-time ANN index kind (``"ivf"``) built at artifact-export time;
+    #: not a constructor argument — :func:`build_model` ignores it and the
+    #: export/serve layers consume it (see :mod:`repro.ann`).
+    ann: Optional[str] = None
+    #: Default probe width for ANN serving (``None`` = auto-chosen at build
+    #: time for a target recall and recorded in the index manifest).
+    nprobe: Optional[int] = None
     version: int = field(default=1, compare=False)
 
     def __post_init__(self) -> None:
@@ -253,6 +260,14 @@ class ModelSpec:
                 # P=1 is the unpartitioned layout; normalise so specs compare
                 # and round-trip canonically.
                 self.partitions = None
+        if self.ann is not None:
+            self.ann = str(self.ann).lower()
+        if self.nprobe is not None:
+            self.nprobe = int(self.nprobe)
+            if self.nprobe < 1:
+                raise ValueError(f"nprobe must be >= 1, got {self.nprobe}")
+        if self.nprobe is not None and self.ann is None:
+            raise ValueError("nprobe requires an ann index kind (set ann='ivf')")
 
     def capabilities(self) -> ModelCapabilities:
         """Capability metadata of the registered class this spec names."""
@@ -277,6 +292,10 @@ class ModelSpec:
             out["sparse_grads"] = True
         if self.partitions is not None:
             out["partitions"] = self.partitions
+        if self.ann is not None:
+            out["ann"] = self.ann
+        if self.nprobe is not None:
+            out["nprobe"] = self.nprobe
         return out
 
     def replace(self, **kwargs) -> "ModelSpec":
@@ -301,6 +320,7 @@ class ModelSpec:
             raise ValueError(f"model spec is missing required keys: {missing}")
         relation_dim = payload.get("relation_dim")
         partitions = payload.get("partitions")
+        nprobe = payload.get("nprobe")
         return cls(
             model=str(payload["model"]),
             formulation=str(payload["formulation"]),
@@ -313,6 +333,8 @@ class ModelSpec:
                            if payload.get("dissimilarity") is not None else None),
             sparse_grads=bool(payload.get("sparse_grads", False)),
             partitions=int(partitions) if partitions is not None else None,  # type: ignore[arg-type]
+            ann=str(payload["ann"]) if payload.get("ann") is not None else None,
+            nprobe=int(nprobe) if nprobe is not None else None,  # type: ignore[arg-type]
             version=int(payload.get("spec_version", 1)),  # type: ignore[arg-type]
         )
 

@@ -36,12 +36,17 @@ class TopKQuery:
     """One ranking request: anchor entity + relation, ``k``, filter flag.
 
     ``anchor`` is the head for tail queries and the tail for head queries.
+    ``ann`` / ``nprobe`` are per-request overrides of the engine's ANN
+    routing: ``ann=False`` forces exact ranking for this query, ``nprobe``
+    widens or narrows the probe (both default to the engine configuration).
     """
 
     anchor: int
     relation: int
     k: int = 10
     filtered: bool = False
+    ann: Optional[bool] = None
+    nprobe: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -92,17 +97,38 @@ class InferenceEngine:
         files before the final top-k — reported ranks and scores match
         full-precision serving as long as the true top-k survives the coarse
         cut.  Ignored for full-precision models.
+    ann_index:
+        An :class:`repro.ann.IVFIndex` (or compatible) built over the model's
+        entity table.  When set, L2-rankable queries probe ``nprobe`` clusters
+        and rescore only the gathered candidates exactly — sub-linear scans
+        with exact final scores; models without an L2 closed form fall back to
+        exact ranking (counted in ``stats()["fallback_queries"]``).
+    nprobe:
+        Engine-default probe width (``None`` uses the index manifest's
+        auto-chosen default; per-query overrides win over both).
     """
 
     def __init__(self, model: KGEModel,
                  known_triples: Optional[Iterable[Tuple[int, int, int]]] = None,
-                 cache_size: int = 4096, rescore_expansion: int = 4) -> None:
+                 cache_size: int = 4096, rescore_expansion: int = 4,
+                 ann_index=None, nprobe: Optional[int] = None) -> None:
         self.model = model
         self.cache = LRUCache(cache_size)
         if rescore_expansion < 1:
             raise ValueError(
                 f"rescore_expansion must be >= 1, got {rescore_expansion}")
         self.rescore_expansion = int(rescore_expansion)
+        if ann_index is not None and int(ann_index.n_entities) != int(model.n_entities):
+            raise ValueError(
+                f"ANN index covers {ann_index.n_entities} entities but the "
+                f"model has {model.n_entities}; rebuild the index from this "
+                "artifact's weight files"
+            )
+        self.ann_index = ann_index
+        self.ann_nprobe = int(nprobe) if nprobe is not None else None
+        #: How from_artifact selected the index ("auto"/kind/None); reload()
+        #: uses it to decide whether to re-attach an index from the new path.
+        self._ann_mode = "auto" if ann_index is not None else None
         # numpy scoring is read-only on the weights, but the autograd
         # ``no_grad`` switch used by the generic scoring fallbacks is process
         # global — serialise scoring so concurrent HTTP threads cannot race
@@ -117,6 +143,9 @@ class InferenceEngine:
         self.rows_scored = 0
         self.rescored_queries = 0
         self.reloads = 0
+        self.ann_queries = 0
+        self.fallback_queries = 0
+        self.ann_candidates = 0
         self._known_tails: Dict[Tuple[int, int], np.ndarray] = {}
         self._known_heads: Dict[Tuple[int, int], np.ndarray] = {}
         self._entity_snapshot: Optional[np.ndarray] = None
@@ -140,7 +169,9 @@ class InferenceEngine:
     def from_artifact(cls, path: str, filtered: bool = False,
                       cache_size: int = 4096, mmap="auto",
                       quantized=None,
-                      rescore_expansion: int = 4) -> "InferenceEngine":
+                      rescore_expansion: int = 4,
+                      ann="auto",
+                      nprobe: Optional[int] = None) -> "InferenceEngine":
         """Warm-load an ``sptransx run`` artifact directory.
 
         The artifact is self-contained: the checkpoint restores the exact
@@ -161,6 +192,12 @@ class InferenceEngine:
         ``save_weight_files(..., quantize=...)`` — 2–4× lower resident bucket
         bytes, with each answer rescored exactly from the float64 originals
         (see ``rescore_expansion``).  Implies loading from the weight files.
+
+        ``ann`` selects ANN-indexed serving: ``"auto"`` (default) lazily
+        loads ``<path>/index/`` when the artifact carries one and serves
+        exact otherwise; a kind name (``"ivf"``) requires that index;
+        ``False``/``"off"`` disables ANN routing.  ``nprobe`` overrides the
+        index manifest's auto-chosen default probe width.
         """
         import os
 
@@ -174,9 +211,38 @@ class InferenceEngine:
             mmap = True
         elif mmap == "auto":
             mmap = os.path.isdir(os.path.join(path, ARTIFACT_WEIGHTS))
-        return cls(artifact.load_model(mmap=bool(mmap), quantized=quantized),
-                   known_triples=known, cache_size=cache_size,
-                   rescore_expansion=rescore_expansion)
+        ann_index = cls._load_artifact_index(path, ann)
+        engine = cls(artifact.load_model(mmap=bool(mmap), quantized=quantized),
+                     known_triples=known, cache_size=cache_size,
+                     rescore_expansion=rescore_expansion,
+                     ann_index=ann_index, nprobe=nprobe)
+        engine._ann_mode = None if ann in (None, False, "off") else ann
+        return engine
+
+    @staticmethod
+    def _load_artifact_index(path: str, ann):
+        """Resolve the ``ann`` mode against ``<path>/index/`` (or return None)."""
+        if ann in (None, False, "off"):
+            return None
+        import os
+
+        from repro.ann import ARTIFACT_INDEX, load_index
+
+        index_dir = os.path.join(path, ARTIFACT_INDEX)
+        if os.path.isdir(index_dir):
+            index = load_index(index_dir)
+            if ann not in (True, "auto") and index.kind != str(ann):
+                raise ValueError(
+                    f"artifact carries a {index.kind!r} index but "
+                    f"ann={ann!r} was requested"
+                )
+            return index
+        if ann in (True, "auto"):
+            return None
+        raise FileNotFoundError(
+            f"no ANN index under {index_dir}; export the artifact with "
+            f"--ann {ann} (or save_weight_files(..., ann={str(ann)!r}))"
+        )
 
     def set_known_triples(self, triples: Iterable[Tuple[int, int, int]]) -> None:
         """Install the positive set backing filtered queries (replaces any prior)."""
@@ -193,12 +259,30 @@ class InferenceEngine:
             self.cache.clear()
 
     def reload(self, path: str) -> None:
-        """Swap in a new checkpoint atomically and invalidate the result cache."""
+        """Swap in a new checkpoint atomically and invalidate the result cache.
+
+        Any attached ANN index is dropped with the cache (its clusters
+        describe the *old* weights); when this engine came from
+        ``from_artifact`` with ANN enabled and ``path`` is an artifact
+        directory carrying an ``index/``, the new artifact's index is
+        re-attached in the same swap.
+        """
+        import os
+
         from repro.training.checkpoint import load_model
 
         model = load_model(path)
+        new_index = (self._load_artifact_index(path, self._ann_mode)
+                     if self._ann_mode is not None and os.path.isdir(path)
+                     else None)
+        if new_index is not None and int(new_index.n_entities) != int(model.n_entities):
+            raise ValueError(
+                f"ANN index under {path} covers {new_index.n_entities} "
+                f"entities but the reloaded model has {model.n_entities}"
+            )
         with self._score_lock:
             self.model = model
+            self.ann_index = new_index
             self.cache.clear()
             self._entity_snapshot = None
             with self._stats_lock:
@@ -240,7 +324,23 @@ class InferenceEngine:
         found, value = self.cache.get(key)
         if not found:
             with self._score_lock:
-                if self.model.n_partitions > 1:
+                if self.ann_index is not None and self.model.n_partitions > 1:
+                    # IVF route: probe nprobe clusters around the entity's own
+                    # row, then rescore the gathered candidates exactly from
+                    # the fp64 originals — identical distances to the blocked
+                    # sweep whenever the true top-k lies in probed clusters.
+                    query = self.ann_index.exact_rows(np.array([entity]))[0]
+                    cand = self.ann_index.candidate_ids(
+                        query, self._effective_nprobe(None))
+                    dist = ranking.l2_distance_matrix(
+                        query[None, :], self.ann_index.exact_rows(cand))[0]
+                    value = self._ann_result(
+                        cand, dist, int(k),
+                        exclude=np.array([entity], dtype=np.int64))
+                    with self._stats_lock:
+                        self.ann_queries += 1
+                        self.ann_candidates += int(cand.size)
+                elif self.model.n_partitions > 1:
                     # Partitioned tables are never densified: fault buckets in
                     # lazily and keep a running top-k across blocks.  Under
                     # quantized serving the blocked sweep is coarse, so keep
@@ -283,14 +383,18 @@ class InferenceEngine:
     # Query API
     # ------------------------------------------------------------------ #
     def top_k_tails(self, head: int, relation: int, k: int = 10,
-                    filtered: bool = False) -> TopKResult:
+                    filtered: bool = False, ann: Optional[bool] = None,
+                    nprobe: Optional[int] = None) -> TopKResult:
         """The ``k`` most plausible tails for ``(head, relation, ?)``."""
-        return self.top_k_tails_batch([TopKQuery(head, relation, k, filtered)])[0]
+        return self.top_k_tails_batch(
+            [TopKQuery(head, relation, k, filtered, ann, nprobe)])[0]
 
     def top_k_heads(self, relation: int, tail: int, k: int = 10,
-                    filtered: bool = False) -> TopKResult:
+                    filtered: bool = False, ann: Optional[bool] = None,
+                    nprobe: Optional[int] = None) -> TopKResult:
         """The ``k`` most plausible heads for ``(?, relation, tail)``."""
-        return self.top_k_heads_batch([TopKQuery(tail, relation, k, filtered)])[0]
+        return self.top_k_heads_batch(
+            [TopKQuery(tail, relation, k, filtered, ann, nprobe)])[0]
 
     def top_k_tails_batch(self, queries: Sequence[TopKQuery]) -> List[TopKResult]:
         """Answer many tail queries with (at most) one ``score_all_tails`` call."""
@@ -312,39 +416,73 @@ class InferenceEngine:
                 miss_positions.append(i)
 
         if miss_positions:
-            # Deduplicate repeated (anchor, relation) pairs so the scoring
-            # kernel sees each query row once, however skewed the traffic.
-            pair_rows: Dict[Tuple[int, int], int] = {}
-            for i in miss_positions:
-                q = queries[i]
-                pair_rows.setdefault((q.anchor, q.relation), len(pair_rows))
-            anchors = np.fromiter((p[0] for p in pair_rows), dtype=np.int64,
-                                  count=len(pair_rows))
-            relations = np.fromiter((p[1] for p in pair_rows), dtype=np.int64,
-                                    count=len(pair_rows))
             # Result construction and cache.put stay inside the lock so an
             # interleaved reload()/set_known_triples() cannot be followed by
             # stale entries written from the pre-invalidation model.
             with self._score_lock:
-                if direction == "tail":
-                    scores = self.model.score_all_tails(anchors, relations)
-                else:
-                    scores = self.model.score_all_heads(relations, anchors)
-                with self._stats_lock:
-                    self.scoring_calls += 1
-                    self.rows_scored += int(anchors.shape[0])
-                rescore = self._rescorer()
+                # Route each miss: ANN when an index is attached, the query
+                # didn't opt out, and the model exposes an L2 query vector;
+                # everything else joins the exact batched scoring call.
+                # Candidate sets are shared per (anchor, relation, nprobe) —
+                # the ANN twin of the exact path's pair deduplication.
+                ann_sets: Dict[Tuple[int, int, int],
+                               Optional[Tuple[np.ndarray, np.ndarray]]] = {}
+                plans: Dict[int, Tuple[str, Tuple]] = {}
+                pair_rows: Dict[Tuple[int, int], int] = {}
+                ann_fallbacks = 0
                 for i in miss_positions:
                     q = queries[i]
-                    row = scores[pair_rows[(q.anchor, q.relation)]]
-                    exclude = self._exclusions(direction, q) if q.filtered else None
-                    if rescore is not None:
-                        result = self._rescored_result(row, q, exclude,
-                                                       direction, rescore)
+                    if self.ann_index is not None and q.ann is not False:
+                        nprobe = self._effective_nprobe(q.nprobe)
+                        ann_key = (q.anchor, q.relation, nprobe)
+                        if ann_key not in ann_sets:
+                            ann_sets[ann_key] = self._ann_candidate_set(
+                                q.anchor, q.relation, direction, nprobe)
+                        if ann_sets[ann_key] is not None:
+                            plans[i] = ("ann", ann_key)
+                            continue
+                        ann_fallbacks += 1
+                    pair = (q.anchor, q.relation)
+                    pair_rows.setdefault(pair, len(pair_rows))
+                    plans[i] = ("exact", pair)
+                scores = None
+                if pair_rows:
+                    anchors = np.fromiter((p[0] for p in pair_rows),
+                                          dtype=np.int64, count=len(pair_rows))
+                    relations = np.fromiter((p[1] for p in pair_rows),
+                                            dtype=np.int64, count=len(pair_rows))
+                    if direction == "tail":
+                        scores = self.model.score_all_tails(anchors, relations)
                     else:
-                        result = _result_from_row(row, q.k, exclude)
+                        scores = self.model.score_all_heads(relations, anchors)
+                    with self._stats_lock:
+                        self.scoring_calls += 1
+                        self.rows_scored += int(anchors.shape[0])
+                rescore = self._rescorer()
+                ann_answered = 0
+                ann_scanned = 0
+                for i in miss_positions:
+                    q = queries[i]
+                    kind, ref = plans[i]
+                    exclude = self._exclusions(direction, q) if q.filtered else None
+                    if kind == "ann":
+                        candidates, dist = ann_sets[ref]  # type: ignore[misc]
+                        result = self._ann_result(candidates, dist, q.k, exclude)
+                        ann_answered += 1
+                        ann_scanned += int(candidates.size)
+                    else:
+                        row = scores[pair_rows[ref]]  # type: ignore[index]
+                        if rescore is not None:
+                            result = self._rescored_result(row, q, exclude,
+                                                           direction, rescore)
+                        else:
+                            result = _result_from_row(row, q.k, exclude)
                     self.cache.put(self._cache_key(direction, q), result)
                     results[i] = result
+                with self._stats_lock:
+                    self.ann_queries += ann_answered
+                    self.ann_candidates += ann_scanned
+                    self.fallback_queries += ann_fallbacks
 
         with self._stats_lock:
             self.queries_served += len(queries)
@@ -371,6 +509,52 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     # Internals / introspection
     # ------------------------------------------------------------------ #
+    def _effective_nprobe(self, nprobe: Optional[int]) -> Optional[int]:
+        """Per-query nprobe > engine default > index manifest default."""
+        if nprobe is not None:
+            return int(nprobe)
+        return self.ann_nprobe
+
+    def _ann_candidate_set(self, anchor: int, relation: int, direction: str,
+                           nprobe: Optional[int]
+                           ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """IVF candidates + exact distances for one pair, or None (fallback).
+
+        Caller holds ``_score_lock`` (index residency state mutates here).
+        Returns ``None`` when the model has no L2 closed form for this query
+        — the caller serves it through exact ranking instead.
+        """
+        query = self.model.l2_query_vector(anchor, relation, direction)
+        if query is None:
+            return None
+        candidates = self.ann_index.candidate_ids(query, nprobe)
+        rows = self.ann_index.exact_rows(candidates)
+        dist = ranking.l2_distance_matrix(
+            np.asarray(query, dtype=np.float64)[None, :], rows)[0]
+        return candidates, dist
+
+    def _ann_result(self, candidates: np.ndarray, dist: np.ndarray, k: int,
+                    exclude: Optional[np.ndarray]) -> TopKResult:
+        """Final top-k over an ANN candidate set (exclusions masked first).
+
+        ``candidates`` is sorted ascending, so excluded ids are located with
+        ``searchsorted``; with a full probe the candidate set is every entity
+        and this reduces to exactly ``_result_from_row``.
+        """
+        if exclude is not None and exclude.size and candidates.size:
+            exclude = np.asarray(exclude, dtype=np.int64).reshape(-1)
+            pos = np.searchsorted(candidates, exclude)
+            inside = pos < candidates.size
+            pos = pos[inside]
+            hit = pos[candidates[pos] == exclude[inside]]
+            if hit.size:
+                dist = dist.copy()
+                dist[hit] = np.inf
+        sel = ranking.top_k(dist, k)
+        sel = sel[np.isfinite(dist[sel])]
+        return TopKResult(entities=tuple(int(candidates[i]) for i in sel),
+                          scores=tuple(float(dist[i]) for i in sel))
+
     def _rescorer(self):
         """The model's exact-rescore hook, when quantized serving is active."""
         if getattr(self.model, "serving_quantized", None) is None:
@@ -406,7 +590,8 @@ class InferenceEngine:
                           scores=tuple(float(exact[i]) for i in sel))
 
     def _cache_key(self, direction: str, q: TopKQuery) -> Tuple:
-        return (direction, q.anchor, q.relation, q.k, q.filtered)
+        return (direction, q.anchor, q.relation, q.k, q.filtered, q.ann,
+                q.nprobe)
 
     def _exclusions(self, direction: str, q: TopKQuery) -> Optional[np.ndarray]:
         if direction == "tail":
@@ -414,8 +599,18 @@ class InferenceEngine:
         return self._known_heads.get((q.relation, q.anchor))
 
     def stats(self) -> Dict[str, object]:
-        """Counters for the ``/v1/stats`` endpoint and the benchmarks."""
+        """Counters for the ``/v1/stats`` endpoint and the benchmarks.
+
+        ``probed_fraction`` is the mean fraction of the entity table scanned
+        per ANN-answered query (1.0 would be an exact sweep);
+        ``fallback_queries`` counts queries that wanted ANN but fell back to
+        exact ranking because the model has no L2 closed form.
+        """
+        index = self.ann_index
         with self._stats_lock:
+            probed = (self.ann_candidates
+                      / (self.ann_queries * max(1, self.model.n_entities))
+                      if self.ann_queries else 0.0)
             return {
                 "queries_served": self.queries_served,
                 "scoring_calls": self.scoring_calls,
@@ -423,5 +618,14 @@ class InferenceEngine:
                 "rescored_queries": self.rescored_queries,
                 "quantized": getattr(self.model, "serving_quantized", None),
                 "reloads": self.reloads,
+                "ann_queries": self.ann_queries,
+                "fallback_queries": self.fallback_queries,
+                "probed_fraction": probed,
+                "ann": (None if index is None else {
+                    "kind": index.kind,
+                    "nprobe": (self.ann_nprobe if self.ann_nprobe is not None
+                               else index.nprobe_default),
+                    **index.stats(),
+                }),
                 "cache": self.cache.stats(),
             }

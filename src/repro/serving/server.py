@@ -18,6 +18,11 @@ Endpoints (all JSON):
 ``/v1/score``         POST    ``{"triples": [[h, r, t], ...]}``
 ``/v1/classify``      POST    ``{"triples": [...], "threshold": 7.5}``
 ====================  ======  =====================================================
+
+Top-k requests additionally accept optional ``"ann"`` (boolean; ``false``
+forces the exact path for this request) and ``"nprobe"`` (positive integer)
+fields when the engine was loaded with an ANN index; requests carrying either
+override bypass the batcher so the override cannot leak onto batch-mates.
 """
 
 from __future__ import annotations
@@ -41,6 +46,24 @@ def _require_int(payload: Dict, key: str) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
         raise ServingError(f"field {key!r} must be an integer, got {value!r}")
     return value
+
+
+def _ann_overrides(payload: Dict) -> Tuple[Optional[bool], Optional[int]]:
+    """Parse optional per-request ``"ann"`` / ``"nprobe"`` override fields.
+
+    ``ann`` accepts a JSON boolean (``false`` disables the index for this
+    request); ``nprobe`` a positive integer.  Both default to ``None`` —
+    "use whatever the engine was configured with".
+    """
+    ann = payload.get("ann")
+    if ann is not None and not isinstance(ann, bool):
+        raise ServingError(f'field "ann" must be a boolean, got {ann!r}')
+    nprobe = payload.get("nprobe")
+    if nprobe is not None:
+        if isinstance(nprobe, bool) or not isinstance(nprobe, int) or nprobe < 1:
+            raise ServingError(
+                f'field "nprobe" must be a positive integer, got {nprobe!r}')
+    return ann, nprobe
 
 
 def _get_triples(payload: Dict) -> list:
@@ -140,22 +163,29 @@ class ServingHandler(BaseHTTPRequestHandler):
             relation = _require_int(payload, "relation")
             k = int(payload.get("k", 10))
             filtered = bool(payload.get("filtered", False))
+            ann, nprobe = _ann_overrides(payload)
             self.server.check_ids(head=head, relation=relation)
-            if batcher is not None:
+            # Per-request ANN overrides bypass the batcher: the coalesced
+            # path answers all riders from one engine call, which would
+            # silently apply one request's override to its batch-mates.
+            if batcher is not None and ann is None and nprobe is None:
                 result = batcher.top_k_tails(head, relation, k=k, filtered=filtered)
             else:
-                result = engine.top_k_tails(head, relation, k=k, filtered=filtered)
+                result = engine.top_k_tails(head, relation, k=k, filtered=filtered,
+                                            ann=ann, nprobe=nprobe)
             return result.to_dict()
         if path == "/v1/top_k_heads":
             tail = _require_int(payload, "tail")
             relation = _require_int(payload, "relation")
             k = int(payload.get("k", 10))
             filtered = bool(payload.get("filtered", False))
+            ann, nprobe = _ann_overrides(payload)
             self.server.check_ids(tail=tail, relation=relation)
-            if batcher is not None:
+            if batcher is not None and ann is None and nprobe is None:
                 result = batcher.top_k_heads(relation, tail, k=k, filtered=filtered)
             else:
-                result = engine.top_k_heads(relation, tail, k=k, filtered=filtered)
+                result = engine.top_k_heads(relation, tail, k=k, filtered=filtered,
+                                            ann=ann, nprobe=nprobe)
             return result.to_dict()
         if path == "/v1/nearest":
             entity = _require_int(payload, "entity")

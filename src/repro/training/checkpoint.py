@@ -211,7 +211,9 @@ ARTIFACT_WEIGHTS = "weights"
 
 
 def save_weight_files(directory: str, model: KGEModel,
-                      quantize: Optional[str] = None) -> Dict[str, str]:
+                      quantize: Optional[str] = None,
+                      ann: Optional[str] = None,
+                      ann_nprobe: Optional[int] = None) -> Dict[str, str]:
     """Write every parameter as ``<directory>/weights/<name>.npy``.
 
     The files duplicate the arrays already inside ``checkpoint.npz`` in a
@@ -230,6 +232,12 @@ def save_weight_files(directory: str, model: KGEModel,
     twins of each bucket (``entities.bucket<k>.f16.npy`` / int8 codes plus
     per-row scales) beside the exact files and records the mode in the
     manifest — see :mod:`repro.nn.quantize`.  Requires a partitioned model.
+
+    ``ann`` (``"ivf"``) builds an ANN index over the bucket files into
+    ``<directory>/index/`` — per-bucket k-means centroids plus cluster-sorted
+    row permutations and an ``index.json`` manifest; ``ann_nprobe`` pins the
+    serving probe width (default: auto-chosen for recall@10 ≥ 0.95, see
+    :func:`repro.ann.build_index_files`).  Also partitioned-only.
     """
     weights_dir = os.path.join(directory, ARTIFACT_WEIGHTS)
     os.makedirs(weights_dir, exist_ok=True)
@@ -238,6 +246,11 @@ def save_weight_files(directory: str, model: KGEModel,
     if table is None and quantize is not None:
         raise ValueError(
             "quantize= requires a model with a partitioned entity table "
+            "(train with partitions > 1)"
+        )
+    if table is None and ann is not None:
+        raise ValueError(
+            "ann= requires a model with a partitioned entity table "
             "(train with partitions > 1)"
         )
     if table is not None:
@@ -257,6 +270,18 @@ def save_weight_files(directory: str, model: KGEModel,
                 for name in bucket["files"]:
                     written[os.path.splitext(name)[0]] = os.path.join(
                         weights_dir, name)
+        if ann is not None:
+            from repro.ann import ARTIFACT_INDEX, INDEX_MANIFEST, build_index_files
+
+            index_manifest = build_index_files(directory, kind=ann,
+                                               nprobe=ann_nprobe)
+            index_dir = os.path.join(directory, ARTIFACT_INDEX)
+            written["index.manifest"] = os.path.join(index_dir, INDEX_MANIFEST)
+            for bucket in index_manifest["buckets"]:
+                for key in ("centroids", "assign"):
+                    name = str(bucket[key])
+                    written[f"index.{os.path.splitext(name)[0]}"] = os.path.join(
+                        index_dir, name)
     for name, param in model.named_parameters():
         if name in bucket_names:
             continue

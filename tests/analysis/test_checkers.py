@@ -27,7 +27,7 @@ def rules_of(findings) -> set:
 
 
 class TestFramework:
-    def test_all_nine_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         rule_ids = {rule for rule, _ in iter_rules()}
         assert rule_ids == {
             "dtype-ctor",
@@ -39,6 +39,7 @@ class TestFramework:
             "kernel-parity",
             "registry-model",
             "registry-roundtrip",
+            "ann-recall",
         }
 
     def test_every_checker_describes_itself(self):
@@ -329,6 +330,52 @@ class TestKernelParityChecker:
         findings = run_checks(tmp_path, rules=["kernel-parity"])
         assert len(findings) == 1
         assert "orphan_kernel" in findings[0].message
+
+
+class TestAnnRecallChecker:
+    FILES = {
+        "src/repro/ann/ivf.py": (
+            "def register_index(kind):\n"
+            "    def deco(cls):\n"
+            "        return cls\n"
+            "    return deco\n"
+            '@register_index("ivf")\n'
+            "class IVFIndex:\n"
+            "    pass\n"
+        ),
+        "tests/ann/test_ivf.py": (
+            'KIND = "ivf"\n'
+            "def test_recall():\n"
+            "    assert KIND\n"
+        ),
+    }
+
+    def test_untested_index_kind_flagged(self, tmp_path):
+        files = dict(self.FILES)
+        files["src/repro/ann/hnsw.py"] = (
+            "from repro.ann.ivf import register_index\n"
+            '@register_index("hnsw")\n'
+            "class HNSWIndex:\n"
+            "    pass\n"
+        )
+        make_project(tmp_path, files)
+        findings = run_checks(tmp_path, rules=["ann-recall"])
+        assert len(findings) == 1
+        assert '"hnsw"' in findings[0].message
+        assert findings[0].path == "src/repro/ann/hnsw.py"
+
+    def test_tested_index_kind_passes(self, tmp_path):
+        make_project(tmp_path, dict(self.FILES))
+        assert run_checks(tmp_path, rules=["ann-recall"]) == []
+
+    def test_tests_outside_ann_suite_do_not_count(self, tmp_path):
+        files = dict(self.FILES)
+        files["tests/ann/test_ivf.py"] = "def test_nothing():\n    pass\n"
+        files["tests/serving/test_other.py"] = 'KIND = "ivf"\n'
+        make_project(tmp_path, files)
+        findings = run_checks(tmp_path, rules=["ann-recall"])
+        assert len(findings) == 1
+        assert '"ivf"' in findings[0].message
 
 
 _MODEL_FILES = {

@@ -190,3 +190,36 @@ class TestCoalescingOverHTTP:
         assert batcher_stats["requests"] >= 8
         # Eight distinct queries must have cost fewer than eight scoring calls.
         assert server.engine.stats()["scoring_calls"] - baseline_calls < 8
+
+
+class TestAnnOverrides:
+    """Per-request "ann"/"nprobe" payload fields (parsed even with no index)."""
+
+    def test_ann_false_answers_exactly_and_bypasses_batcher(self, served):
+        server, model = served
+        before = server.batcher.stats()["requests"]
+        out = post(server, "/v1/top_k_tails",
+                   {"head": 3, "relation": 1, "k": 4, "ann": False})
+        assert out["entities"] == [int(i) for i in model.predict_tails(3, 1, k=4)]
+        assert server.batcher.stats()["requests"] == before
+
+    def test_nprobe_override_bypasses_batcher(self, served):
+        server, _ = served
+        before = server.batcher.stats()["requests"]
+        out = post(server, "/v1/top_k_heads",
+                   {"tail": 5, "relation": 2, "k": 3, "nprobe": 4})
+        assert len(out["entities"]) == 3
+        assert server.batcher.stats()["requests"] == before
+
+    def test_non_boolean_ann_is_400(self, served):
+        server, _ = served
+        error = post_error(server, "/v1/top_k_tails",
+                           {"head": 3, "relation": 1, "ann": "yes"})
+        assert error.code == 400
+
+    @pytest.mark.parametrize("nprobe", [0, -2, "4", True])
+    def test_invalid_nprobe_is_400(self, served, nprobe):
+        server, _ = served
+        error = post_error(server, "/v1/top_k_tails",
+                           {"head": 3, "relation": 1, "nprobe": nprobe})
+        assert error.code == 400

@@ -71,6 +71,26 @@ class TestNearestRows:
         idx, _ = ranking.nearest_rows(table[3], [(0, table)], 20, exclude=3)
         assert 3 not in idx.tolist()
 
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+    def test_distance_dtype_follows_table(self, rng, dtype):
+        # Regression: the query used to be widened to float64 unconditionally,
+        # so fp16/fp32 tables came back with float64 distances in violation of
+        # the dtype-promotion invariant (l2_distance_matrix contract).
+        table = rng.standard_normal((24, 4)).astype(dtype)
+        _, dist = ranking.nearest_rows(table[5], [(0, table[:12]), (12, table[12:])],
+                                       4, exclude=5)
+        assert dist.dtype == np.dtype(dtype)
+
+    def test_integer_query_still_works(self):
+        table = np.arange(12, dtype=np.float64).reshape(6, 2)
+        query = np.array([4, 5], dtype=np.int64)  # non-float: cast to float64
+        idx, dist = ranking.nearest_rows(query, [(0, table)], 2)
+        assert idx[0] == 2 and dist.dtype == np.float64
+
+    def test_empty_blocks(self):
+        idx, dist = ranking.nearest_rows(np.zeros(3, dtype=np.float32), [], 4)
+        assert idx.size == 0 and dist.size == 0 and dist.dtype == np.float64
+
 
 class TestBlockedRankingOnModels:
     @pytest.mark.parametrize("dissimilarity", ["L1", "L2"])

@@ -115,6 +115,20 @@ class TestSpecRoundTrip:
         model = build_model(spec, rng=0)
         assert model.sparse_grads is True
 
+    def test_ann_fields_round_trip(self):
+        spec = ModelSpec(model="transe", formulation="sparse", n_entities=50,
+                         n_relations=4, embedding_dim=8, partitions=4,
+                         ann="ivf", nprobe=8)
+        assert ModelSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["ann"] == "ivf"
+        assert spec.to_dict()["nprobe"] == 8
+
+    def test_ann_defaults_omitted_from_dict(self):
+        spec = ModelSpec(model="transe", formulation="sparse", n_entities=50,
+                         n_relations=4, embedding_dim=8)
+        payload = spec.to_dict()
+        assert "ann" not in payload and "nprobe" not in payload
+
 
 class TestSpecValidation:
     def test_rejects_unknown_formulation(self):
@@ -130,6 +144,16 @@ class TestSpecValidation:
     def test_from_dict_requires_core_keys(self):
         with pytest.raises(ValueError, match="missing required keys"):
             ModelSpec.from_dict({"model": "transe", "formulation": "sparse"})
+
+    def test_nprobe_without_ann_rejected(self):
+        with pytest.raises(ValueError, match="nprobe requires an ann"):
+            ModelSpec(model="transe", formulation="sparse", n_entities=5,
+                      n_relations=2, embedding_dim=4, nprobe=4)
+
+    def test_nonpositive_nprobe_rejected(self):
+        with pytest.raises(ValueError, match="nprobe"):
+            ModelSpec(model="transe", formulation="sparse", n_entities=5,
+                      n_relations=2, embedding_dim=4, ann="ivf", nprobe=0)
 
     def test_from_dict_ignores_unknown_keys(self):
         spec = ModelSpec.from_dict({
