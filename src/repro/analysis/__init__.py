@@ -1,7 +1,9 @@
 """Static analysis for repo-wide invariants (``sptransx check``).
 
-See :mod:`repro.analysis.core` for the framework and
-:mod:`repro.analysis.checkers` for the shipped rules:
+See :mod:`repro.analysis.core` for the framework,
+:mod:`repro.analysis.callgraph` / :mod:`repro.analysis.dataflow` for the
+interprocedural engine (project call graph + per-function forward
+dataflow), and :mod:`repro.analysis.checkers` for the shipped rules:
 
 ==================  =====================================================
 rule id             invariant
@@ -11,16 +13,24 @@ dtype-promotion     no builtin-float dtypes / fp64-forcing literals
 fork-module-lock    no module-level locks in the fork closure
 fork-sqlite         no sqlite connections crossing os.fork
 fork-atexit         no atexit handlers in the fork closure
-lock-discipline     serving state mutates only under its Lock
+fork-taint          fork hazards anywhere in the *transitive* import
+                    closure, with the import/call chain (interprocedural)
+lock-discipline     serving state mutates only under its Lock (lexical)
+lock-state          no lock-free call path from a thread entry point to a
+                    write of Lock-guarded state (interprocedural)
+resource-lifecycle  acquired handles (open/sqlite/mmap) close on every
+                    path, or escape to an owner (interprocedural)
 kernel-parity       every backend/kernel has a tests/sparse/ parity test
 registry-model      every concrete model carries @register_model
 registry-roundtrip  spec dataclass fields survive to_dict/from_dict
+suppression-unused  every ``# repro: ignore`` still suppresses something
 ==================  =====================================================
 
 Suppress per line with ``# repro: ignore[rule-id]`` or per file with
 ``# repro: ignore-file[rule-id]``.
 """
 
+from repro.analysis.callgraph import CallGraph, CallSite, walk_shallow
 from repro.analysis.core import (
     Checker,
     Finding,
@@ -32,18 +42,34 @@ from repro.analysis.core import (
     register_checker,
     run_checks,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.dataflow import (
+    CFG,
+    CFGNode,
+    ForwardAnalysis,
+    Transfer,
+    build_cfg,
+)
+from repro.analysis.reporters import render_github, render_json, render_text
 
 __all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "CallSite",
     "Checker",
     "Finding",
+    "ForwardAnalysis",
     "Project",
     "SourceFile",
+    "Transfer",
+    "build_cfg",
     "changed_files",
     "iter_checkers",
     "iter_rules",
     "register_checker",
-    "run_checks",
+    "render_github",
     "render_json",
     "render_text",
+    "run_checks",
+    "walk_shallow",
 ]

@@ -1,0 +1,264 @@
+"""lock-state checker: interprocedural race detection.
+
+``lock-discipline`` (PR 7) is lexical: a mutation of Lock-guarded state is
+fine iff it sits inside a ``with self._lock:`` block *in the same method*.
+That misses the helper-chain race — a thread entry point that calls a
+private helper which calls a ``_locked`` helper, with nobody on the path
+actually taking the lock.  This rule closes the gap by propagating a
+holds-lock fact along real call edges from every thread entry point:
+
+* **lock classes** — any class (package-wide, not just ``serving/``) that
+  creates a ``threading.Lock``/``RLock`` in ``__init__``; the attributes
+  initialised alongside it are the guarded state (same contract as
+  ``lock-discipline``).
+* **thread entry points** — public methods (anything a caller on another
+  thread may invoke: the engine API surface, dunders), ``do_*`` HTTP
+  handler methods, and any method passed as a ``threading.Thread(target=
+  self.X)`` (the ``RequestBatcher`` worker loop).
+* **propagation** — from each entry the checker walks the body tracking
+  which locks are lexically held, and follows ``self.*`` call edges into
+  private and ``_locked``-suffixed helpers carrying the held-lock set.
+  Cross-object edges are followed only into ``*_locked`` methods of other
+  lock classes, with an *empty* held set — calling another object's
+  caller-holds-the-lock helper without its lock is exactly the race.
+* **finding** — a write to guarded state reached with no lock held, with
+  the full call chain in the message::
+
+      RequestBatcher._run() -> RequestBatcher._flush(): writes
+      self._pending without self._submit_lock
+
+Graceful degradation: unresolved calls (dynamic dispatch, callables as
+values) contribute no edges and therefore no claims; a chain the graph
+cannot see is a chain this rule stays silent on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, ClassInfo, FunctionInfo
+from repro.analysis.checkers.lock_discipline import (
+    _init_attrs,
+    _lock_attrs,
+    _mutated_attr,
+    _self_attr,
+)
+from repro.analysis.core import Checker, Finding, Project, register_checker
+
+_MAX_CHAIN = 12
+
+
+class _ClassLocks:
+    """Lock/guarded attribute sets of one class (both empty if lock-free).
+
+    Lock-free classes still matter to the walk: their entry points can
+    reach another object's ``_locked`` helper (``Engine.reload() ->
+    cache._evict_locked()``) without that object's lock.
+    """
+
+    def __init__(self, info: ClassInfo, init: Optional[ast.FunctionDef]):
+        self.info = info
+        self.locks = _lock_attrs(init) if init else set()
+        # No lock, nothing guarded: a lock-free class's own writes are
+        # never findings — it participates only as a *caller* into some
+        # other object's ``_locked`` helper.
+        self.guarded = (_init_attrs(init) - self.locks) if self.locks else set()
+
+
+def _find_init(info: ClassInfo) -> Optional[ast.FunctionDef]:
+    for member in info.node.body:
+        if isinstance(member, ast.FunctionDef) and member.name == "__init__":
+            return member
+    return None
+
+
+def _thread_targets(info: ClassInfo) -> Set[str]:
+    """Methods passed as ``threading.Thread(target=self.X)`` in this class."""
+    targets: Set[str] = set()
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_thread = (
+            isinstance(func, ast.Attribute) and func.attr == "Thread"
+        ) or (isinstance(func, ast.Name) and func.id == "Thread")
+        if not is_thread:
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                name = _self_attr(kw.value)
+                if name:
+                    targets.add(name)
+    return targets
+
+
+def _is_entry(name: str, thread_targets: Set[str]) -> bool:
+    """Is this method a thread entry point of its class?"""
+    if name == "__init__" or name.endswith("_locked"):
+        return False
+    if not name.startswith("_"):
+        return True  # public API surface
+    if name.startswith("__") and name.endswith("__"):
+        return True  # dunder protocol methods (len, contains, enter, ...)
+    if name.startswith("do_"):
+        return True  # http.server handler convention
+    return name in thread_targets
+
+
+class _PathVisitor(ast.NodeVisitor):
+    """Walks one method body with a (carried + lexical) held-lock set.
+
+    Reports unguarded writes and yields resolved same-object /
+    cross-object call edges with the lock state at the call site.
+    """
+
+    def __init__(self, checker: "LockStateChecker", fn: FunctionInfo,
+                 locks: _ClassLocks, held: frozenset,
+                 chain: Tuple[str, ...]):
+        self.checker = checker
+        self.fn = fn
+        self.locks = locks
+        self.lexical: List[str] = []
+        self.carried = held
+        self.chain = chain
+
+    def _held(self) -> frozenset:
+        return self.carried | frozenset(self.lexical)
+
+    def visit_With(self, node: ast.With) -> None:
+        taken = [
+            _self_attr(item.context_expr)
+            for item in node.items
+            if _self_attr(item.context_expr) in self.locks.locks
+        ]
+        self.lexical.extend(taken)
+        self.generic_visit(node)
+        del self.lexical[len(self.lexical) - len(taken):]
+
+    visit_AsyncWith = visit_With
+
+    def _check_write(self, node: ast.AST) -> None:
+        if self._held():
+            return
+        for target in _mutated_attr(node):
+            name = _self_attr(target)
+            if name and name in self.locks.guarded:
+                self.checker._report(self.fn, self.locks, node, name,
+                                     self.chain)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_write(node)
+        self.generic_visit(node)
+
+    visit_AugAssign = visit_Assign
+    visit_AnnAssign = visit_Assign
+    visit_Delete = visit_Assign
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.checker._follow_call(self.fn, node, self._held(), self.chain)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # closures run later, with unknown lock state; never descend
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+
+@register_checker
+class LockStateChecker(Checker):
+    name = "lock-state"
+    rule_ids = ("lock-state",)
+    description = (
+        "no write to Lock-guarded state may be reachable from a thread "
+        "entry point on a lock-free call path (interprocedural; follows "
+        "_locked helper chains across call edges)"
+    )
+    # Interprocedural: any package change can add or remove a call edge.
+    trigger_prefixes = ("",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        self._graph = CallGraph.for_project(project)
+        self._project = project
+        self._findings: List[Finding] = []
+        self._class_locks: Dict[str, _ClassLocks] = {}
+        self._entries: Dict[str, Set[str]] = {}
+        self._visited: Set[Tuple[str, frozenset]] = set()
+
+        for key, info in self._graph.classes.items():
+            self._class_locks[key] = _ClassLocks(info, _find_init(info))
+            self._entries[key] = {
+                name for name in info.methods
+                if _is_entry(name, _thread_targets(info))
+            }
+
+        for cls_key in sorted(self._entries):
+            locks = self._class_locks[cls_key]
+            for name in sorted(self._entries[cls_key]):
+                fn = self._graph.functions[locks.info.methods[name]]
+                self._walk(fn, locks, frozenset(), ())
+        return self._findings
+
+    # ------------------------------------------------------------------ #
+    def _walk(self, fn: FunctionInfo, locks: _ClassLocks,
+              held: frozenset, chain: Tuple[str, ...]) -> None:
+        if len(chain) >= _MAX_CHAIN:
+            return
+        # The lock context can differ per entry class (base-class methods
+        # reached from different subclasses), so it is part of the memo key.
+        memo = (fn.key, locks.info.key, held)
+        if memo in self._visited:
+            return
+        self._visited.add(memo)
+        if not isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        visitor = _PathVisitor(self, fn, locks, held,
+                               chain + (self._graph.display(fn.key),))
+        for stmt in fn.node.body:
+            visitor.visit(stmt)
+
+    def _follow_call(self, fn: FunctionInfo, node: ast.Call,
+                     held: frozenset, chain: Tuple[str, ...]) -> None:
+        site = self._graph.site(node)
+        if site is None or site.callee is None:
+            return  # unresolved: no edge, no claim
+        callee = self._graph.functions.get(site.callee)
+        if callee is None or callee.cls is None:
+            return
+        if site.name.startswith("self.") and "." not in site.name[5:]:
+            # Same-object call: carry the held set into private /_locked
+            # helpers, keeping the *caller's* lock context (`self` is still
+            # the same object even when the method resolved to a base
+            # class).  Entry methods are roots of their own analysis.
+            caller_locks = self._class_locks.get(fn.cls)
+            if caller_locks is None:
+                return
+            if _is_entry(callee.name, _thread_targets(caller_locks.info)):
+                return
+            self._walk(callee, caller_locks, held, chain)
+        elif callee.name.endswith("_locked"):
+            # Cross-object edge into another object's caller-holds-the-lock
+            # helper: we cannot prove the receiver's lock is held, so enter
+            # with an empty held set — its guarded writes become findings.
+            callee_locks = self._class_locks.get(callee.cls)
+            if callee_locks is not None:
+                self._walk(callee, callee_locks, frozenset(), chain)
+
+    def _report(self, fn: FunctionInfo, locks: _ClassLocks,
+                node: ast.AST, attr: str, chain: Tuple[str, ...]) -> None:
+        source = self._project.file(fn.relpath)
+        if source is None:
+            return
+        lock_names = " or ".join(
+            "self." + name for name in sorted(locks.locks)
+        )
+        self._findings.append(
+            source.finding(
+                "lock-state",
+                node,
+                f"{' -> '.join(chain)}: writes self.{attr} without "
+                f"{lock_names} — this path is reachable from the thread "
+                f"entry point {chain[0]} with no lock held",
+            )
+        )

@@ -1,0 +1,26 @@
+"""suppression-unused rule registration.
+
+The actual detection lives in :func:`repro.analysis.core.run_checks`
+(only the driver knows which suppression comments consumed a finding
+after the full filter pass — flake8 structures its unused-``noqa`` check
+the same way).  This checker exists so the rule participates in the
+ordinary machinery: ``--list-rules``, ``--rules suppression-unused``
+selection, and ``--diff`` triggering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Checker, register_checker
+
+
+@register_checker
+class SuppressionUnusedChecker(Checker):
+    name = "suppression-unused"
+    rule_ids = ("suppression-unused",)
+    description = (
+        "# repro: ignore[...] comments that no longer suppress any "
+        "finding are stale and must be removed (unused-noqa style)"
+    )
+    # A suppression can go stale because of a change anywhere (the rule it
+    # references may stop firing), so diff mode always re-evaluates.
+    trigger_prefixes = ("",)

@@ -33,8 +33,11 @@ No third-party dependencies: everything here is stdlib ``ast`` + ``re``.
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import re
 import subprocess
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -51,8 +54,8 @@ __all__ = [
     "changed_files",
 ]
 
-#: Matches ``# repro: ignore[rule-a,rule-b]`` / ``# repro: ignore-file[...]``.
-#: A bare ``# repro: ignore`` (no bracket) suppresses every rule.
+#: Matches ``repro: ignore[rule-a,rule-b]`` / ``repro: ignore-file[...]``
+#: comments.  A bare ``repro: ignore`` (no bracket) suppresses every rule.
 _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*(?P<kind>ignore-file|ignore)"
     r"(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?"
@@ -64,16 +67,35 @@ _ALL_RULES = frozenset({"*"})
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation: ``path:line:col  rule  message``."""
+    """One rule violation: ``path:line:col  rule  message``.
+
+    ``snippet`` is the source line the finding points at (used for the
+    content-based fingerprint; empty when unavailable).
+    """
 
     rule: str
     path: str  # repo-root-relative, posix separators
     line: int
     col: int
     message: str
+    snippet: str = ""
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
+
+    def fingerprint(self) -> str:
+        """Stable content-based identity: rule + path + normalized snippet.
+
+        Deliberately excludes the line number, so a finding keeps its
+        fingerprint when unrelated edits shift the file — the property a
+        future baseline ("known findings") file needs to not churn on
+        every rebase.
+        """
+        normalized = " ".join(self.snippet.split())
+        digest = hashlib.sha256(
+            f"{self.rule}\0{self.path}\0{normalized}".encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -82,37 +104,71 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "fingerprint": self.fingerprint(),
         }
 
 
+def _iter_comments(text: str) -> Iterator[Tuple[int, str]]:
+    """(lineno, comment_text) for every comment token in ``text``.
+
+    Falls back to a line scan on tokenize errors (sources are already
+    ast-parsed before this runs, so that path is effectively dead).
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "#" in line:
+                yield lineno, line[line.index("#"):]
+
+
+class _SuppressionEntry:
+    """One ``# repro: ignore...`` comment, with use tracking."""
+
+    __slots__ = ("kind", "line", "rules", "used", "comment")
+
+    def __init__(self, kind: str, line: int, rules: frozenset, comment: str):
+        self.kind = kind        # "file" | "line"
+        self.line = line        # physical line of the comment
+        self.rules = rules      # rule ids, or _ALL_RULES
+        self.used = False       # did it suppress at least one finding?
+        self.comment = comment  # verbatim text, for the unused message
+
+
 class _Suppressions:
-    """Per-file suppression state parsed from ``# repro:`` comments."""
+    """Per-file suppression state parsed from ``# repro:`` comments.
+
+    Real COMMENT tokens only (via ``tokenize``): a suppression example
+    inside a docstring documents the syntax, it does not suppress — and
+    must not be reported as a stale ignore either.
+    """
 
     def __init__(self, text: str):
-        self.file_rules: Set[str] = set()
-        self.line_rules: Dict[int, Set[str]] = {}
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if "repro:" not in line:
-                continue
-            m = _SUPPRESS_RE.search(line)
+        self.entries: List[_SuppressionEntry] = []
+        for lineno, comment in _iter_comments(text):
+            m = _SUPPRESS_RE.search(comment)
             if m is None:
                 continue
             raw = m.group("rules")
-            rules = (
-                {r.strip() for r in raw.split(",") if r.strip()}
-                if raw
-                else set(_ALL_RULES)
+            rules = frozenset(
+                r.strip() for r in raw.split(",") if r.strip()
+            ) if raw else frozenset(_ALL_RULES)
+            kind = "file" if m.group("kind") == "ignore-file" else "line"
+            self.entries.append(
+                _SuppressionEntry(kind, lineno, rules, m.group(0).strip())
             )
-            if m.group("kind") == "ignore-file":
-                self.file_rules |= rules
-            else:
-                self.line_rules.setdefault(lineno, set()).update(rules)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        if self.file_rules & {rule, "*"}:
-            return True
-        at_line = self.line_rules.get(line)
-        return bool(at_line and at_line & {rule, "*"})
+        hit = False
+        for entry in self.entries:
+            if not (entry.rules & {rule, "*"}):
+                continue
+            if entry.kind == "file" or entry.line == line:
+                entry.used = True
+                hit = True
+        return hit
 
 
 class SourceFile:
@@ -144,13 +200,19 @@ class SourceFile:
             self._suppressions = _Suppressions(self.text)
         return self._suppressions
 
+    def line_text(self, line: int) -> str:
+        lines = self.text.splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
         return Finding(
             rule=rule,
             path=self.display_path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            snippet=self.line_text(line),
         )
 
 
@@ -350,12 +412,14 @@ def run_checks(
 
     wanted = set(rules) if rules else None
     findings: List[Finding] = []
+    executed_rules: Set[str] = set()
     for checker in iter_checkers():
         if wanted is not None and not (wanted & set(checker.rule_ids)):
             continue
         if restriction is not None:
             if not checker.triggered_by(sorted(restriction)):
                 continue
+        executed_rules.update(checker.rule_ids)
         for src in project.files:
             if not checker.interesting(src.relpath):
                 continue
@@ -372,7 +436,60 @@ def run_checks(
         if src is not None and src.suppressions.is_suppressed(f.rule, f.line):
             continue
         kept.append(f)
+    kept.extend(_unused_suppressions(project, executed_rules, restriction))
     # Project-level checkers may emit duplicates when run under multiple
     # rule restrictions; dedup on the full identity.
     unique = {(f.rule, f.path, f.line, f.col, f.message): f for f in kept}
     return sorted(unique.values(), key=Finding.sort_key)
+
+
+def _unused_suppressions(
+    project: Project,
+    executed_rules: Set[str],
+    restriction: Optional[Set[str]],
+) -> List[Finding]:
+    """``suppression-unused`` findings: ignores that suppressed nothing.
+
+    Runs after the main filter pass, which marks every suppression entry
+    that consumed a finding.  Conservative by construction:
+
+    * an entry is judged only when every rule it names actually executed
+      this run (``--rules``/``--diff`` may have skipped the checker that
+      would have used it);
+    * a bare ``# repro: ignore`` is judged only when *all* registered
+      rules ran;
+    * only package sources are scanned — test files embed suppression
+      comments inside fixture string literals.
+    """
+    if "suppression-unused" not in executed_rules:
+        return []
+    all_rules = {rule for rule, _ in iter_rules()}
+    out: List[Finding] = []
+    for src in project.files:
+        if restriction is not None and src.relpath not in restriction:
+            continue
+        for entry in src.suppressions.entries:
+            if entry.used:
+                continue
+            named = set() if entry.rules == _ALL_RULES else set(entry.rules)
+            # Typo'd rule names can never be used; judge on the known part
+            # (or on every rule for bare/unknown-only ignores).
+            required = (named & all_rules) or all_rules
+            if not required <= executed_rules:
+                continue
+            scope = "file" if entry.kind == "file" else "this line"
+            finding = Finding(
+                rule="suppression-unused",
+                path=src.display_path,
+                line=entry.line,
+                col=1,
+                message=(
+                    f"`{entry.comment}` suppresses nothing: no "
+                    f"{'/'.join(sorted(named)) if named else 'rule'} "
+                    f"finding on {scope}; remove the stale comment"
+                ),
+                snippet=src.line_text(entry.line),
+            )
+            if not src.suppressions.is_suppressed(finding.rule, finding.line):
+                out.append(finding)
+    return out

@@ -7,7 +7,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.core import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_github"]
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -30,9 +30,45 @@ def render_text(findings: Sequence[Finding]) -> str:
 
 
 def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable report: ``{"violations": N, "findings": [...]}``."""
+    """Machine-readable report: ``{"violations": N, "findings": [...]}``.
+
+    Each finding carries its content-based ``fingerprint`` (rule + path +
+    normalized snippet, line-number independent) so future baseline files
+    can match findings across rebases.
+    """
     payload = {
         "violations": len(findings),
         "findings": [f.to_dict() for f in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _gh_escape(value: str, *, property_: bool = False) -> str:
+    """GitHub workflow-command escaping (%, CR, LF; plus ',' ':' in props)."""
+    value = (value.replace("%", "%25")
+             .replace("\r", "%0D")
+             .replace("\n", "%0A"))
+    if property_:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions annotations: findings render inline on PR diffs.
+
+    One ``::error`` workflow command per finding; a trailing plain-text
+    summary line keeps the raw log readable.
+    """
+    lines = [
+        f"::error file={_gh_escape(f.path, property_=True)},"
+        f"line={f.line},col={f.col},"
+        f"title={_gh_escape(f.rule, property_=True)}::"
+        f"{_gh_escape(f'{f.rule}: {f.message}')}"
+        for f in findings
+    ]
+    lines.append(
+        f"sptransx check: {len(findings)} violation"
+        f"{'s' if len(findings) != 1 else ''}"
+        if findings else "sptransx check: no invariant violations found."
+    )
+    return "\n".join(lines)

@@ -410,6 +410,7 @@ class IVFIndex:
             slab = np.load(os.path.join(self.weights_dir,
                                         bucket_filename(bucket)), mmap_mode="r")
             out[order[start:stop]] = slab[sorted_ids[start:stop] - lo]
+            del slab  # drop the mmap (and its fd) as soon as rows are copied
         return out
 
     def _iter_exact_blocks(self, block_rows: int = 16384
@@ -423,6 +424,7 @@ class IVFIndex:
             for start in range(0, hi - lo, block_rows):
                 stop = min(hi - lo, start + block_rows)
                 yield lo + start, np.asarray(slab[start:stop], dtype=np.float64)
+            del slab  # one bucket mmap live at a time, not n_buckets fds
 
     def _sample_queries(self, n: int, seed: int = 0) -> np.ndarray:
         """Deterministic sample of entity rows used as recall-probe queries."""

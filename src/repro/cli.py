@@ -197,9 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("paths", nargs="*",
                        help="repo-relative files to restrict the check to "
                             "(default: the whole source tree)")
-    check.add_argument("--format", default="text", choices=["text", "json"],
-                       dest="format_", metavar="{text,json}",
-                       help="report format (json is what CI consumes)")
+    check.add_argument("--format", default="text",
+                       choices=["text", "json", "github"],
+                       dest="format_", metavar="{text,json,github}",
+                       help="report format (json for machines, github for "
+                            "Actions inline annotations)")
     check.add_argument("--diff", default=None, metavar="REF",
                        help="only report findings in files changed since the "
                             "given git ref (keeps the gate fast on large trees)")
@@ -674,6 +676,7 @@ def _command_check(args: argparse.Namespace) -> int:
 
     from repro.analysis import (
         iter_rules,
+        render_github,
         render_json,
         render_text,
         run_checks,
@@ -704,8 +707,9 @@ def _command_check(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"git diff against {args.diff!r} failed: "
             f"{(exc.stderr or '').strip()}") from exc
-    print(render_json(findings) if args.format_ == "json"
-          else render_text(findings))
+    renderer = {"json": render_json, "github": render_github}.get(
+        args.format_, render_text)
+    print(renderer(findings))
     return 1 if findings else 0
 
 

@@ -605,6 +605,7 @@ class PartitionedEmbedding(Module, EmbeddingTable):
         for bucket, sl, local in self._bucket_slices(sorted_ids):
             exact = np.load(self._bucket_path(bucket), mmap_mode="r")
             out[order[sl]] = exact[local]
+            del exact  # drop the mmap (and its fd) as soon as rows are copied
         self.counters["exact_row_reads"] += int(idx.size)
         return out
 

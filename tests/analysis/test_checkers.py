@@ -27,7 +27,7 @@ def rules_of(findings) -> set:
 
 
 class TestFramework:
-    def test_all_ten_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         rule_ids = {rule for rule, _ in iter_rules()}
         assert rule_ids == {
             "dtype-ctor",
@@ -35,10 +35,14 @@ class TestFramework:
             "fork-module-lock",
             "fork-sqlite",
             "fork-atexit",
+            "fork-taint",
             "lock-discipline",
+            "lock-state",
             "kernel-parity",
             "registry-model",
             "registry-roundtrip",
+            "resource-lifecycle",
+            "suppression-unused",
             "ann-recall",
         }
 
@@ -486,7 +490,14 @@ class TestSuppressions:
                 "x = np.empty(3)  # repro: ignore[lock-discipline]\n"
             ),
         })
-        assert rules_of(run_checks(tmp_path)) == {"dtype-ctor"}
+        # The dtype finding survives (wrong rule named), and the ignore
+        # comment itself is reported stale.
+        assert rules_of(run_checks(tmp_path)) == {
+            "dtype-ctor", "suppression-unused",
+        }
+        assert rules_of(run_checks(tmp_path, rules=["dtype-ctor"])) == {
+            "dtype-ctor",
+        }
 
     def test_bare_ignore_suppresses_all_rules(self, tmp_path):
         make_project(tmp_path, {
@@ -519,3 +530,305 @@ class TestSuppressions:
         findings = run_checks(tmp_path)
         assert len(findings) == 1
         assert findings[0].line == 3
+
+
+_BATCHER = """\
+import threading
+
+class Batcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+        self._thread = threading.Thread(target=self._run)
+
+    def _run(self):
+        while True:
+            self._drain()
+
+    def _drain(self):
+        {drain_body}
+
+    def _flush_locked(self):
+        self._pending = []
+"""
+
+
+class TestLockStateChecker:
+    def test_two_deep_helper_chain_reports_full_chain(self, tmp_path):
+        # Thread entry -> private helper -> _locked helper, nobody takes
+        # the lock: the finding must carry the whole evidence chain.
+        make_project(tmp_path, {
+            "src/repro/training/batcher.py": _BATCHER.format(
+                drain_body="self._flush_locked()"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["lock-state"])
+        assert len(findings) == 1
+        assert (
+            "Batcher._run() -> Batcher._drain() -> Batcher._flush_locked()"
+            in findings[0].message
+        )
+        assert "self._pending" in findings[0].message
+        assert "self._lock" in findings[0].message
+
+    def test_lock_taken_midway_clears_the_chain(self, tmp_path):
+        body = "with self._lock:\n            self._flush_locked()"
+        make_project(tmp_path, {
+            "src/repro/training/batcher.py": _BATCHER.format(drain_body=body),
+        })
+        assert run_checks(tmp_path, rules=["lock-state"]) == []
+
+    def test_package_wide_unlike_lock_discipline(self, tmp_path):
+        # Same race, outside serving/: lexical lock-discipline is scoped to
+        # serving/, the interprocedural rule is package-wide.
+        make_project(tmp_path, {
+            "src/repro/training/batcher.py": _BATCHER.format(
+                drain_body="self._flush_locked()"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-discipline"]) == []
+        assert len(run_checks(tmp_path, rules=["lock-state"])) == 1
+
+    CROSS = """\
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def evict(self):
+        with self._lock:
+            self._evict_locked()
+
+    def _evict_locked(self):
+        self._data = {}
+
+class Engine:
+    def __init__(self):
+        self.cache = Cache()
+
+    def reload(self):
+        self.cache._evict_locked()
+"""
+
+    def test_cross_object_locked_call_without_lock(self, tmp_path):
+        # Engine owns no lock at all, but reload() jumps straight into
+        # Cache's caller-holds-the-lock helper: that *is* the race.
+        # Cache.evict() itself (lock held) must stay clean.
+        make_project(tmp_path, {"src/repro/serving/cache.py": self.CROSS})
+        findings = run_checks(tmp_path, rules=["lock-state"])
+        assert len(findings) == 1
+        assert "Engine.reload() -> Cache._evict_locked()" in findings[0].message
+        assert "self._data" in findings[0].message
+
+    def test_unresolved_dispatch_makes_no_claim(self, tmp_path):
+        # The helper is reached through a callable value; no edge, no claim.
+        make_project(tmp_path, {
+            "src/repro/training/batcher.py": _BATCHER.format(
+                drain_body="fn = self._flush_locked\n        fn()"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["lock-state"]) == []
+
+
+class TestResourceLifecycleChecker:
+    def test_close_on_one_branch_only_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/data/io.py": (
+                "import sqlite3\n"
+                "\n"
+                "def count_rows(path, flag):\n"
+                "    conn = sqlite3.connect(path)\n"
+                "    if flag:\n"
+                "        conn.close()\n"
+                "    return 0\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["resource-lifecycle"])
+        assert len(findings) == 1
+        assert "sqlite connection" in findings[0].message
+        assert "count_rows()" in findings[0].message
+
+    def test_interprocedural_acquirer_taints_caller(self, tmp_path):
+        # make() returns an open handle, so calling it *is* an acquisition;
+        # the leak is charged to the caller that drops it.
+        make_project(tmp_path, {
+            "src/repro/data/io.py": (
+                "import sqlite3\n"
+                "\n"
+                "def make(path):\n"
+                "    return sqlite3.connect(path)\n"
+                "\n"
+                "def use(path):\n"
+                "    conn = make(path)\n"
+                "    return conn.execute('select 1')\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["resource-lifecycle"])
+        assert len(findings) == 1
+        assert "call to make()" in findings[0].message
+        assert "use()" in findings[0].message
+
+    def test_with_del_and_escape_all_pass(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/data/io.py": (
+                "import sqlite3\n"
+                "import numpy as np\n"
+                "\n"
+                "def read_all(path):\n"
+                "    with open(path) as fh:\n"
+                "        return fh.read()\n"
+                "\n"
+                "def head(path):\n"
+                "    block = np.load(path, mmap_mode='r')\n"
+                "    out = block[:4].copy()\n"
+                "    del block\n"
+                "    return out\n"
+                "\n"
+                "def hand_off(path, sink):\n"
+                "    conn = sqlite3.connect(path)\n"
+                "    sink(conn)\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["resource-lifecycle"]) == []
+
+    def test_anonymous_acquisition_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/data/io.py": (
+                "def peek(path):\n"
+                "    open(path).read()\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["resource-lifecycle"])
+        assert len(findings) == 1
+        assert "never bound" in findings[0].message
+
+    def test_self_store_without_release_method_flagged(self, tmp_path):
+        holder = (
+            "import sqlite3\n"
+            "\n"
+            "class Holder:\n"
+            "    def __init__(self, path):\n"
+            "        self.conn = sqlite3.connect(path)\n"
+        )
+        make_project(tmp_path, {"src/repro/data/store.py": holder})
+        findings = run_checks(tmp_path, rules=["resource-lifecycle"])
+        assert len(findings) == 1
+        assert "no close()/__exit__/__del__" in findings[0].message
+        make_project(tmp_path, {
+            "src/repro/data/store.py": holder + (
+                "\n"
+                "    def close(self):\n"
+                "        self.conn.close()\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["resource-lifecycle"]) == []
+
+
+class TestForkTaintChecker:
+    ENTRY = "src/repro/training/multiprocess.py"
+
+    def test_lock_two_hops_down_reported_with_import_chain(self, tmp_path):
+        # fork-module-lock stops at direct imports; the taint rule walks
+        # the whole closure and names the path that carries the hazard.
+        make_project(tmp_path, {
+            self.ENTRY: "from repro.training import mid\n",
+            "src/repro/training/mid.py": "from repro.training import deep\n",
+            "src/repro/training/deep.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["fork-module-lock"]) == []
+        findings = run_checks(tmp_path, rules=["fork-taint"])
+        assert len(findings) == 1
+        assert "training/mid.py -> training/deep.py" in findings[0].message
+
+    def test_import_time_call_chain_reported(self, tmp_path):
+        # CONN = make() at module level runs sqlite3.connect before the
+        # fork; the finding carries the call chain, not just the import.
+        # (Distance 2: inside direct imports fork-sqlite already covers
+        # the whole file, and fork-taint stays silent.)
+        make_project(tmp_path, {
+            self.ENTRY: "from repro.training import mid\n",
+            "src/repro/training/mid.py": "from repro.training import deep\n",
+            "src/repro/training/deep.py": (
+                "import sqlite3\n"
+                "\n"
+                "def make():\n"
+                "    return sqlite3.connect('state.db')\n"
+                "\n"
+                "CONN = make()\n"
+            ),
+        })
+        findings = run_checks(tmp_path, rules=["fork-taint"])
+        assert len(findings) == 1
+        assert "call chain <module> -> make()" in findings[0].message
+
+    def test_post_fork_function_body_not_flagged(self, tmp_path):
+        # A connect inside a function that nothing calls at import time
+        # runs post-fork in the worker — the documented-safe pattern.
+        make_project(tmp_path, {
+            self.ENTRY: "from repro.training import deep\n",
+            "src/repro/training/deep.py": (
+                "import sqlite3\n"
+                "\n"
+                "def worker(path):\n"
+                "    conn = sqlite3.connect(path)\n"
+                "    conn.close()\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["fork-taint"]) == []
+
+
+class TestSuppressionUnusedChecker:
+    def test_stale_line_ignore_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3, dtype=np.float64)  # repro: ignore[dtype-ctor]\n"
+            ),
+        })
+        findings = run_checks(tmp_path)
+        assert rules_of(findings) == {"suppression-unused"}
+        assert "suppresses nothing" in findings[0].message
+
+    def test_stale_file_ignore_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "# repro: ignore-file[lock-discipline]\n"
+                "X = 1\n"
+            ),
+        })
+        assert rules_of(run_checks(tmp_path)) == {"suppression-unused"}
+
+    def test_used_ignore_not_flagged(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3)  # repro: ignore[dtype-ctor]\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_docstring_example_is_not_a_suppression(self, tmp_path):
+        # Only real comment tokens count; prose mentioning the marker
+        # must neither suppress nor be reported stale.
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                '"""Suppress with ``# repro: ignore[dtype-ctor]``."""\n'
+                "X = 1\n"
+            ),
+        })
+        assert run_checks(tmp_path) == []
+
+    def test_rules_restriction_is_conservative(self, tmp_path):
+        # dtype-ctor did not run, so its ignore cannot be judged stale.
+        make_project(tmp_path, {
+            "src/repro/sparse/mod.py": (
+                "import numpy as np\n"
+                "x = np.empty(3, dtype=np.float64)  # repro: ignore[dtype-ctor]\n"
+            ),
+        })
+        assert run_checks(tmp_path, rules=["suppression-unused"]) == []

@@ -120,14 +120,22 @@ def git_project(tmp_path):
 class TestDiffMode:
     def test_diff_restricts_to_changed_files(self, git_project):
         # Make sparse/mod.py dirty with a fresh violation; the pre-existing
-        # serving/ violation is untouched since HEAD and must not re-report.
+        # serving/ violation is untouched since HEAD so its *file-scoped*
+        # finding (lock-discipline) must not re-report.  Interprocedural
+        # rules are project-scoped and re-run whole (like kernel-parity),
+        # so lock-state still sees the serving race.
         (git_project / "src/repro/sparse/mod.py").write_text(
             "import numpy as np\nx = np.empty(3)\n", encoding="utf-8"
         )
         findings = run_checks(git_project, diff_ref="HEAD")
-        assert {f.rule for f in findings} == {"dtype-ctor"}
+        assert {f.rule for f in findings} == {"dtype-ctor", "lock-state"}
+        assert not any(
+            f.rule == "lock-discipline" for f in findings
+        )
         full = run_checks(git_project)
-        assert {f.rule for f in full} == {"dtype-ctor", "lock-discipline"}
+        assert {f.rule for f in full} == {
+            "dtype-ctor", "lock-discipline", "lock-state",
+        }
 
     def test_clean_diff_reports_nothing(self, git_project):
         assert run_checks(git_project, diff_ref="HEAD") == []
@@ -145,8 +153,9 @@ class TestDiffMode:
             "def test_nothing():\n    pass\n", encoding="utf-8"
         )
         findings = run_checks(git_project, diff_ref="HEAD")
-        assert {f.rule for f in findings} == {"kernel-parity"}
-        assert "spmm" in findings[0].message
+        parity = [f for f in findings if f.rule == "kernel-parity"]
+        assert len(parity) == 1
+        assert "spmm" in parity[0].message
 
     def test_diff_cli_flag(self, git_project, capsys):
         (git_project / "src/repro/sparse/mod.py").write_text(
@@ -160,3 +169,38 @@ class TestDiffMode:
         with pytest.raises(SystemExit):
             main(["check", "--root", str(git_project),
                   "--diff", "no-such-ref"])
+
+
+class TestReporters:
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        make_project(tmp_path, BAD_FILES)
+        assert main(["check", "--root", str(tmp_path),
+                     "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/repro/sparse/mod.py,line=2,col=5," in out
+        assert "title=dtype-ctor::" in out
+        assert "sptransx check: 1 violation" in out
+
+    def test_github_format_clean_run(self, tmp_path, capsys):
+        make_project(tmp_path, GOOD_FILES)
+        assert main(["check", "--root", str(tmp_path),
+                     "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+
+    def test_fingerprint_survives_line_shift(self, tmp_path, capsys):
+        # Baselines must match findings across rebases: the fingerprint
+        # hashes rule + path + snippet, never the line number.
+        def fingerprint():
+            main(["check", "--root", str(tmp_path), "--format", "json"])
+            payload = json.loads(capsys.readouterr().out)
+            (finding,) = payload["findings"]
+            return finding["line"], finding["fingerprint"]
+
+        make_project(tmp_path, BAD_FILES)
+        line_a, fp_a = fingerprint()
+        shifted = "import numpy as np\n\n\nx = np.empty(3)\n"
+        make_project(tmp_path, {"src/repro/sparse/mod.py": shifted})
+        line_b, fp_b = fingerprint()
+        assert line_a != line_b
+        assert fp_a == fp_b
