@@ -162,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load the dataset named by the data arguments and "
                             "install its triples as known positives, enabling "
                             "filtered=true queries")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="fork this many engine worker processes behind an "
+                            "asyncio front-end with deadline-aware batching "
+                            "and SLO admission control (0 = the threaded "
+                            "in-process tier; default 0)")
+    serve.add_argument("--deadline-ms", type=float, default=50.0,
+                       help="default per-request deadline for the pool tier; "
+                            "requests predicted to finish later are shed with "
+                            "503 + Retry-After (payloads may override per "
+                            "request via \"deadline_ms\")")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="pool tier only: accept every request instead of "
+                            "shedding predicted deadline busts (baseline for "
+                            "overload measurements)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
 
@@ -498,6 +512,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     from repro.serving import InferenceEngine, make_server
 
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.workers > 0:
+        return _serve_pool(args)
     if os.path.isdir(args.checkpoint):
         # Artifact directories are self-contained: the stored spec's own data
         # section backs the filtered protocol, so the CLI data flags (which
@@ -543,6 +561,67 @@ def _command_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _serve_pool(args: argparse.Namespace) -> int:
+    """``sptransx serve --workers N``: the asyncio + forked-pool tier.
+
+    The engine factory runs *inside* each forked worker, so every worker
+    memory-maps the same artifact weight/index files (one page-cache copy)
+    instead of inheriting or pickling a parent-side model.
+    """
+    import os
+
+    from repro.serving import AsyncInferenceServer, InferenceEngine
+
+    checkpoint, filtered = args.checkpoint, args.filtered
+    cache_size, ann, nprobe = args.cache_size, args.ann, args.nprobe
+    if os.path.isdir(checkpoint):
+        def engine_factory() -> InferenceEngine:
+            return InferenceEngine.from_artifact(
+                checkpoint, filtered=filtered, cache_size=cache_size,
+                mmap="auto", ann=ann, nprobe=nprobe)
+    else:
+        if ann not in ("auto", "off"):
+            raise SystemExit(
+                f"--ann {ann} needs an artifact directory (indexes live "
+                f"next to the weight files), got checkpoint {checkpoint}")
+        data_spec = _data_spec_from_args(args) if filtered else None
+
+        def engine_factory() -> InferenceEngine:
+            engine = InferenceEngine(_restore_model(checkpoint),
+                                     cache_size=cache_size)
+            if data_spec is not None:
+                engine.set_known_triples(
+                    data_spec.materialize().known_triples())
+            return engine
+
+    try:
+        server = AsyncInferenceServer(
+            engine_factory, workers=args.workers, host=args.host,
+            port=args.port, deadline_ms=args.deadline_ms,
+            max_batch=args.max_batch, admission=not args.no_admission,
+            verbose=args.verbose)
+    except (RuntimeError, ValueError, FileNotFoundError, TimeoutError) as exc:
+        raise SystemExit(f"cannot start worker pool: {exc}") from exc
+
+    def on_started() -> None:
+        print(json.dumps({"serving": server.url,
+                          "mode": "pool",
+                          "workers": args.workers,
+                          "deadline_ms": args.deadline_ms,
+                          "admission": not args.no_admission,
+                          "model": server.meta.get("model"),
+                          "spec": server.meta.get("spec"),
+                          "filtered": filtered}), flush=True)
+
+    try:
+        server.serve_forever(on_started=on_started)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.pool.close()
     return 0
 
 

@@ -10,6 +10,12 @@ The serving stack is layered so each piece is usable on its own:
   concurrent single queries into batched engine calls.
 * :class:`~repro.serving.server.InferenceServer` — a stdlib-only threaded
   JSON/HTTP front-end (``sptransx serve`` wraps it).
+* :class:`~repro.serving.pool.WorkerPool` +
+  :class:`~repro.serving.async_server.AsyncInferenceServer` — the
+  heavy-traffic tier (``sptransx serve --workers N``): an asyncio front door
+  with SLO admission control fanning out to forked engine processes that
+  share the mmap'd weight files and batch with deadline awareness
+  (:mod:`repro.serving.deadline`).
 
 .. code-block:: python
 
@@ -20,19 +26,34 @@ The serving stack is layered so each piece is usable on its own:
     print(result.entities, result.scores)
 """
 
+from repro.serving.admission import AdmissionController
+from repro.serving.async_server import AsyncInferenceServer, make_async_server
 from repro.serving.cache import LRUCache
+from repro.serving.deadline import DeadlineBatcher, ServiceTimeEstimator
 from repro.serving.engine import InferenceEngine, TopKQuery, TopKResult
+from repro.serving.metrics import LatencyHistogram, MetricsRegistry
+from repro.serving.pool import PoolClosed, WorkerError, WorkerPool
 from repro.serving.request_batcher import EngineClosed, RequestBatcher
 from repro.serving.server import InferenceServer, ServingError, make_server
 
 __all__ = [
+    "AdmissionController",
+    "AsyncInferenceServer",
+    "DeadlineBatcher",
+    "LatencyHistogram",
     "LRUCache",
     "InferenceEngine",
+    "MetricsRegistry",
+    "PoolClosed",
+    "ServiceTimeEstimator",
     "TopKQuery",
     "TopKResult",
     "EngineClosed",
     "RequestBatcher",
     "InferenceServer",
     "ServingError",
+    "WorkerError",
+    "WorkerPool",
+    "make_async_server",
     "make_server",
 ]

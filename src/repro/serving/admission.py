@@ -1,0 +1,149 @@
+"""SLO-aware admission control: shed what cannot finish in time.
+
+Under overload a FIFO serving tier degrades for *everyone*: queues grow
+without bound, every request waits behind the backlog, and p99 collapses past
+any deadline even though the machine is doing useful work the whole time.
+Admission control converts that cliff into a plateau — the front door
+predicts each arriving request's completion time from a live service-time
+estimate and the current queue depth, and requests that would finish past
+their deadline are rejected immediately (HTTP 503 + ``Retry-After``) instead
+of being queued to fail slowly.  Goodput (answers delivered *within* their
+SLO) then tracks capacity instead of falling to zero.
+
+The prediction is the standard first-principles queue model: with ``W``
+workers, ``q`` admitted-but-unfinished requests, and per-request service
+estimate ``s``, a new arrival completes in roughly ``s * (q / W) + s``
+(wait for its share of the backlog, then its own service).  ``s`` is an EWMA
+over **worker-measured** per-request service times (batch execution time over
+batch size, reported with each response), so queueing delay cannot inflate
+the estimate and destabilise the controller.
+
+Single-threaded by design: the asyncio event loop owns the controller, so
+there are no locks to discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+
+class AdmissionController:
+    """Queue-depth + EWMA completion-time prediction for load shedding.
+
+    Parameters
+    ----------
+    workers:
+        Parallel service channels (pool worker processes).
+    default_service_ms:
+        Per-request service estimate before the first observation.
+    alpha:
+        EWMA weight of the newest observation.
+    headroom:
+        Safety multiplier on the predicted completion time; values above 1
+        shed a little earlier than the raw prediction, absorbing estimate
+        noise.  1.0 trusts the prediction exactly.
+    shed_decay:
+        Multiplicative decay applied to a route's service estimate on every
+        shed.  Shed requests yield no measurements, so without decay a stale
+        over-estimate would starve the route permanently; with it the
+        controller periodically admits a probe that re-measures reality.
+    """
+
+    def __init__(self, workers: int, default_service_ms: float = 5.0,
+                 alpha: float = 0.2, headroom: float = 1.0,
+                 shed_decay: float = 0.95) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if default_service_ms <= 0:
+            raise ValueError(
+                f"default_service_ms must be positive, got {default_service_ms}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {headroom}")
+        if not 0 < shed_decay <= 1:
+            raise ValueError(f"shed_decay must be in (0, 1], got {shed_decay}")
+        self.workers = int(workers)
+        self.shed_decay = float(shed_decay)
+        self.default_service_ms = float(default_service_ms)
+        self.alpha = float(alpha)
+        self.headroom = float(headroom)
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+        self._service_ms: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def service_ms(self, route: str) -> float:
+        """Current per-request service estimate for ``route`` (ms)."""
+        return self._service_ms.get(route, self.default_service_ms)
+
+    def observe(self, route: str, service_ms: float) -> None:
+        """Fold one measured per-request service time into the route EWMA."""
+        service_ms = max(0.0, float(service_ms))
+        previous = self._service_ms.get(route)
+        if previous is None:
+            self._service_ms[route] = service_ms
+        else:
+            self._service_ms[route] = previous + self.alpha * (service_ms - previous)
+
+    def predicted_completion_ms(self, route: str) -> float:
+        """Predicted time-to-answer for a request admitted right now (ms)."""
+        service = self.service_ms(route)
+        wait = service * (self.inflight / self.workers)
+        return (wait + service) * self.headroom
+
+    # ------------------------------------------------------------------ #
+    # Admission decision + occupancy tracking
+    # ------------------------------------------------------------------ #
+    def admit(self, route: str, deadline_budget_ms: float
+              ) -> Tuple[bool, Optional[float]]:
+        """Decide one arrival: ``(admitted, retry_after_s)``.
+
+        A rejected request's ``retry_after_s`` is how long until the backlog
+        should have drained enough for the same deadline budget to fit —
+        i.e. the predicted overshoot — floored at 10 ms so clients never spin.
+        """
+        predicted = self.predicted_completion_ms(route)
+        if predicted <= float(deadline_budget_ms):
+            self.inflight += 1
+            self.admitted += 1
+            return True, None
+        self.shed += 1
+        # A shed request produces no service-time observation, so a stale
+        # (e.g. transiently inflated) estimate could otherwise shed forever
+        # with nothing left to correct it.  Geometric decay per shed re-opens
+        # the gate after enough rejections; the next admitted probe then
+        # restores the estimate to whatever service time is really being paid.
+        self._service_ms[route] = self.service_ms(route) * self.shed_decay
+        overshoot_ms = predicted - float(deadline_budget_ms)
+        return False, max(0.010, overshoot_ms / 1e3)
+
+    def release(self, route: str, service_ms: Optional[float] = None) -> None:
+        """One admitted request finished (however it ended).
+
+        ``service_ms`` is the worker-measured per-request service time when
+        the request produced one; shed/timeout outcomes pass ``None`` and
+        only return their occupancy.
+        """
+        self.inflight = max(0, self.inflight - 1)
+        if service_ms is not None:
+            self.observe(route, service_ms)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "service_ms": {route: round(ms, 4)
+                           for route, ms in sorted(self._service_ms.items())},
+        }
+
+
+def retry_after_header(retry_after_s: float) -> str:
+    """``Retry-After`` is integral delta-seconds on the wire; round up."""
+    return str(max(1, int(math.ceil(retry_after_s))))

@@ -37,6 +37,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.inflight_coalesced = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -53,6 +54,28 @@ class LRUCache:
                 self.hits += 1
                 return True, self._data[key]
             self.misses += 1
+            return False, None
+
+    def recheck(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Single-flight second look, taken after winning the compute lock.
+
+        The engine's miss path is: ``get`` (miss) → acquire the scoring lock →
+        compute → ``put``.  When several threads miss on the *same* key
+        concurrently, the scoring lock already serialises them — but without
+        a second look each loser would recompute an answer its predecessor
+        just cached (the stampede).  Callers therefore ``recheck`` once the
+        compute lock is held: a hit here means another flight landed first
+        and this caller reuses its result instead of stampeding the engine.
+
+        Counted separately from first-look hits (``inflight_coalesced`` in
+        :meth:`stats`) so ``hit_rate`` keeps meaning "answered without
+        touching the scoring path at all".
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.inflight_coalesced += 1
+                return True, self._data[key]
             return False, None
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -80,6 +103,7 @@ class LRUCache:
         """Zero the hit/miss/eviction counters (entries are kept)."""
         with self._lock:
             self.hits = self.misses = self.evictions = 0
+            self.inflight_coalesced = 0
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when none were made)."""
@@ -97,5 +121,6 @@ class LRUCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "inflight_coalesced": self.inflight_coalesced,
                 "hit_rate": self.hits / total if total else 0.0,
             }

@@ -324,7 +324,12 @@ class InferenceEngine:
         found, value = self.cache.get(key)
         if not found:
             with self._score_lock:
-                if self.ann_index is not None and self.model.n_partitions > 1:
+                # Single-flight: a concurrent identical query may have filled
+                # the cache while this thread waited for the lock.
+                found, value = self.cache.recheck(key)
+                if found:
+                    pass
+                elif self.ann_index is not None and self.model.n_partitions > 1:
                     # IVF route: probe nprobe clusters around the entity's own
                     # row, then rescore the gathered candidates exactly from
                     # the fp64 originals — identical distances to the blocked
@@ -420,6 +425,12 @@ class InferenceEngine:
             # interleaved reload()/set_known_triples() cannot be followed by
             # stale entries written from the pre-invalidation model.
             with self._score_lock:
+                # Single-flight guard: concurrent misses on the same key
+                # serialise on the score lock, so any key another thread
+                # computed while we waited is already cached — serve those
+                # riders now instead of stampeding the scoring path again.
+                miss_positions = self._uncoalesced_misses_locked(
+                    queries, direction, miss_positions, results)
                 # Route each miss: ANN when an index is attached, the query
                 # didn't opt out, and the model exposes an L2 query vector;
                 # everything else joins the exact batched scoring call.
@@ -588,6 +599,25 @@ class InferenceEngine:
             self.rescored_queries += 1
         return TopKResult(entities=tuple(int(candidates[i]) for i in sel),
                           scores=tuple(float(exact[i]) for i in sel))
+
+    def _uncoalesced_misses_locked(self, queries: Sequence[TopKQuery],
+                                   direction: str,
+                                   miss_positions: List[int],
+                                   results: List[Optional[TopKResult]]
+                                   ) -> List[int]:
+        """Second-chance cache pass over ``miss_positions`` (caller holds
+        the score lock): positions whose key landed in the cache while we
+        waited for the lock are filled from it, the rest still need scoring.
+        """
+        remaining: List[int] = []
+        for i in miss_positions:
+            found, value = self.cache.recheck(
+                self._cache_key(direction, queries[i]))
+            if found:
+                results[i] = value
+            else:
+                remaining.append(i)
+        return remaining
 
     def _cache_key(self, direction: str, q: TopKQuery) -> Tuple:
         return (direction, q.anchor, q.relation, q.k, q.filtered, q.ann,

@@ -1,0 +1,176 @@
+"""Serving-tier latency metrics: log-bucketed histograms and route counters.
+
+The asyncio front-end records one latency observation per finished request
+and needs p50/p95/p99 over millions of them without keeping every sample.
+:class:`LatencyHistogram` buckets observations into geometrically spaced bins
+(constant relative error, ~4% at the default growth factor) so quantile
+estimates cost O(bins) and memory stays flat regardless of traffic volume.
+
+These objects are intentionally lock-free: in the pool tier every observation
+happens on the event-loop thread, and the threaded tier keeps its existing
+counter scheme.  Anything that needs cross-thread mutation must wrap access
+itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Default histogram range: 10 microseconds to 5 minutes, ~4% bin width.
+_DEFAULT_MIN_MS = 0.01
+_DEFAULT_MAX_MS = 300_000.0
+_DEFAULT_GROWTH = 1.04
+
+
+class LatencyHistogram:
+    """Fixed-memory latency histogram with geometric bins.
+
+    Parameters
+    ----------
+    min_ms, max_ms:
+        Observations are clamped into ``[min_ms, max_ms]``; the first and
+        last bins absorb everything outside.
+    growth:
+        Ratio between consecutive bin upper edges; smaller = more bins =
+        tighter quantile error.  The default (1.04) gives ~430 bins.
+    """
+
+    def __init__(self, min_ms: float = _DEFAULT_MIN_MS,
+                 max_ms: float = _DEFAULT_MAX_MS,
+                 growth: float = _DEFAULT_GROWTH) -> None:
+        if not (0 < min_ms < max_ms):
+            raise ValueError(f"need 0 < min_ms < max_ms, got {min_ms}, {max_ms}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self._min_ms = float(min_ms)
+        self._log_growth = math.log(growth)
+        n_bins = int(math.ceil(math.log(max_ms / min_ms) / self._log_growth)) + 1
+        # Upper edge of bin i is min_ms * growth**(i); counts[i] holds
+        # observations in (edge[i-1], edge[i]].
+        self._edges = [min_ms * math.exp(self._log_growth * i)
+                       for i in range(n_bins)]
+        self._counts = [0] * n_bins
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one latency (milliseconds)."""
+        latency_ms = float(latency_ms)
+        if latency_ms <= self._min_ms:
+            idx = 0
+        else:
+            idx = min(len(self._counts) - 1,
+                      int(math.ceil(math.log(latency_ms / self._min_ms)
+                                    / self._log_growth)))
+        self._counts[idx] += 1
+        self.count += 1
+        self.total_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) as a bin upper edge, 0.0 if empty."""
+        if self.count == 0:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            seen += n
+            if seen >= target:
+                return self._edges[idx]
+        return self._edges[-1]
+
+    def summary(self, percentiles: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+        """JSON-friendly snapshot: count, mean, max, and requested percentiles."""
+        out: Dict[str, float] = {
+            "count": self.count,
+            "mean_ms": self.total_ms / self.count if self.count else 0.0,
+            "max_ms": self.max_ms,
+        }
+        for q in percentiles:
+            label = f"p{q:g}".replace(".", "_")
+            out[f"{label}_ms"] = self.percentile(q)
+        return out
+
+
+class RouteMetrics:
+    """Per-route outcome counters plus a latency histogram.
+
+    Outcomes are disjoint: ``ok`` (answered in time), ``deadline_miss``
+    (answered, but past its deadline — still a 200, not goodput), ``shed``
+    (503 from admission control), ``timeout`` (gave up waiting on a worker),
+    ``error`` (4xx/5xx from validation or worker failure).  ``coalesced``
+    counts requests answered by riding another identical in-flight request
+    (they also count under their outcome).
+    """
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()
+        self.ok = 0
+        self.deadline_miss = 0
+        self.shed = 0
+        self.timeout = 0
+        self.error = 0
+        self.coalesced = 0
+
+    def observe_ok(self, latency_ms: float, within_deadline: bool) -> None:
+        self.latency.observe(latency_ms)
+        if within_deadline:
+            self.ok += 1
+        else:
+            self.deadline_miss += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "deadline_miss": self.deadline_miss,
+            "shed": self.shed,
+            "timeout": self.timeout,
+            "error": self.error,
+            "coalesced": self.coalesced,
+            "latency": self.latency.summary(),
+        }
+
+
+class MetricsRegistry:
+    """Lazy route-name → :class:`RouteMetrics` map for the front-end."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[str, RouteMetrics] = {}
+
+    def route(self, name: str) -> RouteMetrics:
+        metrics = self._routes.get(name)
+        if metrics is None:
+            metrics = self._routes[name] = RouteMetrics()
+        return metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: m.snapshot() for name, m in sorted(self._routes.items())}
+
+
+def batch_size_distribution(counts: Dict[int, int]) -> Dict[str, float]:
+    """Summarise a ``{batch_size: n_batches}`` map (worker stats helper)."""
+    batches = sum(counts.values())
+    requests = sum(size * n for size, n in counts.items())
+    multi = sum(n for size, n in counts.items() if size >= 2)
+    return {
+        "batches": batches,
+        "requests": requests,
+        "mean_batch_size": requests / batches if batches else 0.0,
+        "largest_batch": max(counts) if counts else 0,
+        "multi_query_batches": multi,
+        "sizes": {str(size): counts[size] for size in sorted(counts)},
+    }
+
+
+def merge_batch_distributions(dists: List[Dict[str, float]]) -> Dict[str, float]:
+    """Pool-wide roll-up of per-worker :func:`batch_size_distribution` dicts."""
+    merged: Dict[int, int] = {}
+    for dist in dists:
+        for size, n in dist.get("sizes", {}).items():
+            merged[int(size)] = merged.get(int(size), 0) + int(n)
+    return batch_size_distribution(merged)

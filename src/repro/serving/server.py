@@ -29,49 +29,18 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.serving.engine import InferenceEngine
 from repro.serving.request_batcher import RequestBatcher
+from repro.serving.validation import (
+    ServingError,
+    ann_overrides as _ann_overrides,
+    get_triples as _get_triples,
+    require_int as _require_int,
+)
 
-
-class ServingError(ValueError):
-    """Client error (malformed request / unknown ids) mapped to HTTP 400."""
-
-
-def _require_int(payload: Dict, key: str) -> int:
-    if key not in payload:
-        raise ServingError(f"missing required field {key!r}")
-    value = payload[key]
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ServingError(f"field {key!r} must be an integer, got {value!r}")
-    return value
-
-
-def _ann_overrides(payload: Dict) -> Tuple[Optional[bool], Optional[int]]:
-    """Parse optional per-request ``"ann"`` / ``"nprobe"`` override fields.
-
-    ``ann`` accepts a JSON boolean (``false`` disables the index for this
-    request); ``nprobe`` a positive integer.  Both default to ``None`` —
-    "use whatever the engine was configured with".
-    """
-    ann = payload.get("ann")
-    if ann is not None and not isinstance(ann, bool):
-        raise ServingError(f'field "ann" must be a boolean, got {ann!r}')
-    nprobe = payload.get("nprobe")
-    if nprobe is not None:
-        if isinstance(nprobe, bool) or not isinstance(nprobe, int) or nprobe < 1:
-            raise ServingError(
-                f'field "nprobe" must be a positive integer, got {nprobe!r}')
-    return ann, nprobe
-
-
-def _get_triples(payload: Dict) -> list:
-    triples = payload.get("triples")
-    if (not isinstance(triples, list) or not triples
-            or not all(isinstance(t, list) and len(t) == 3 for t in triples)):
-        raise ServingError('field "triples" must be a non-empty list of [h, r, t]')
-    return triples
+__all__ = ["InferenceServer", "ServingError", "ServingHandler", "make_server"]
 
 
 class ServingHandler(BaseHTTPRequestHandler):
@@ -247,14 +216,11 @@ class InferenceServer(ThreadingHTTPServer):
     def check_ids(self, head: Optional[int] = None, tail: Optional[int] = None,
                   relation: Optional[int] = None) -> None:
         """Reject out-of-vocabulary ids before they reach the scoring kernels."""
+        from repro.serving.validation import check_ids
+
         model = self.engine.model
-        for name, value, bound in (("head", head, model.n_entities),
-                                   ("tail", tail, model.n_entities),
-                                   ("relation", relation, model.n_relations)):
-            if value is not None and not 0 <= value < bound:
-                raise ServingError(
-                    f"{name} id {value} out of range [0, {bound})"
-                )
+        check_ids(model.n_entities, model.n_relations,
+                  head=head, tail=tail, relation=relation)
 
     def close(self) -> None:
         """Stop the batcher and release the socket (idempotent)."""

@@ -1,0 +1,75 @@
+"""Request validation shared by the threaded and asyncio HTTP front-ends.
+
+Both serving tiers speak the same JSON dialect (same routes, same payload
+fields, same error strings), so the field validators live here rather than in
+either server module: :mod:`repro.serving.server` (threaded) and
+:mod:`repro.serving.async_server` (worker pool) import them, and a payload
+rejected by one tier is rejected identically by the other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class ServingError(ValueError):
+    """Client error (malformed request / unknown ids) mapped to HTTP 400."""
+
+
+def require_int(payload: Dict, key: str) -> int:
+    """The payload's ``key`` as a real integer (bools are not integers here)."""
+    if key not in payload:
+        raise ServingError(f"missing required field {key!r}")
+    value = payload[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServingError(f"field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def ann_overrides(payload: Dict) -> Tuple[Optional[bool], Optional[int]]:
+    """Parse optional per-request ``"ann"`` / ``"nprobe"`` override fields.
+
+    ``ann`` accepts a JSON boolean (``false`` disables the index for this
+    request); ``nprobe`` a positive integer.  Both default to ``None`` —
+    "use whatever the engine was configured with".
+    """
+    ann = payload.get("ann")
+    if ann is not None and not isinstance(ann, bool):
+        raise ServingError(f'field "ann" must be a boolean, got {ann!r}')
+    nprobe = payload.get("nprobe")
+    if nprobe is not None:
+        if isinstance(nprobe, bool) or not isinstance(nprobe, int) or nprobe < 1:
+            raise ServingError(
+                f'field "nprobe" must be a positive integer, got {nprobe!r}')
+    return ann, nprobe
+
+
+def get_triples(payload: Dict) -> list:
+    """The payload's ``"triples"`` as a non-empty list of ``[h, r, t]`` rows."""
+    triples = payload.get("triples")
+    if (not isinstance(triples, list) or not triples
+            or not all(isinstance(t, list) and len(t) == 3 for t in triples)):
+        raise ServingError('field "triples" must be a non-empty list of [h, r, t]')
+    return triples
+
+
+def deadline_ms_override(payload: Dict, default_ms: float) -> float:
+    """Per-request ``"deadline_ms"`` (positive number), or the server default."""
+    value = payload.get("deadline_ms")
+    if value is None:
+        return float(default_ms)
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ServingError(
+            f'field "deadline_ms" must be a positive number, got {value!r}')
+    return float(value)
+
+
+def check_ids(n_entities: int, n_relations: int,
+              head: Optional[int] = None, tail: Optional[int] = None,
+              relation: Optional[int] = None) -> None:
+    """Reject out-of-vocabulary ids before they reach the scoring kernels."""
+    for name, value, bound in (("head", head, n_entities),
+                               ("tail", tail, n_entities),
+                               ("relation", relation, n_relations)):
+        if value is not None and not 0 <= value < bound:
+            raise ServingError(f"{name} id {value} out of range [0, {bound})")

@@ -1,0 +1,152 @@
+"""Unit tests for the SLO admission controller and latency metrics."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController, retry_after_header
+from repro.serving.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    batch_size_distribution,
+    merge_batch_distributions,
+)
+
+
+class TestAdmissionController:
+    def test_admits_when_prediction_fits(self):
+        ctrl = AdmissionController(workers=2, default_service_ms=5.0)
+        admitted, retry = ctrl.admit("/v1/x", deadline_budget_ms=50.0)
+        assert admitted and retry is None
+        assert ctrl.inflight == 1
+        assert ctrl.admitted == 1
+
+    def test_sheds_when_prediction_busts_deadline(self):
+        ctrl = AdmissionController(workers=1, default_service_ms=100.0)
+        admitted, retry = ctrl.admit("/v1/x", deadline_budget_ms=10.0)
+        assert not admitted
+        assert retry is not None and retry >= 0.010
+        assert ctrl.shed == 1
+        assert ctrl.inflight == 0  # shed requests never occupy a slot
+
+    def test_queue_depth_raises_prediction(self):
+        ctrl = AdmissionController(workers=2, default_service_ms=10.0)
+        base = ctrl.predicted_completion_ms("/v1/x")
+        for _ in range(4):
+            assert ctrl.admit("/v1/x", deadline_budget_ms=1e6)[0]
+        # 4 inflight over 2 workers: wait = 10 * 2, total 30 vs base 10.
+        assert ctrl.predicted_completion_ms("/v1/x") == pytest.approx(30.0)
+        assert base == pytest.approx(10.0)
+
+    def test_release_returns_occupancy_and_feeds_ewma(self):
+        ctrl = AdmissionController(workers=1, default_service_ms=50.0, alpha=0.5)
+        ctrl.admit("/v1/x", deadline_budget_ms=1e6)
+        ctrl.release("/v1/x", service_ms=10.0)
+        assert ctrl.inflight == 0
+        # First observation replaces the default outright.
+        assert ctrl.service_ms("/v1/x") == pytest.approx(10.0)
+        ctrl.release("/v1/x", service_ms=20.0)
+        assert ctrl.service_ms("/v1/x") == pytest.approx(15.0)
+
+    def test_release_without_measurement_keeps_estimate(self):
+        ctrl = AdmissionController(workers=1, default_service_ms=7.0)
+        ctrl.admit("/v1/x", deadline_budget_ms=1e6)
+        ctrl.release("/v1/x", service_ms=None)
+        assert ctrl.service_ms("/v1/x") == pytest.approx(7.0)
+
+    def test_headroom_sheds_earlier(self):
+        lax = AdmissionController(workers=1, default_service_ms=10.0)
+        strict = AdmissionController(workers=1, default_service_ms=10.0,
+                                     headroom=2.0)
+        assert lax.admit("/v1/x", deadline_budget_ms=15.0)[0]
+        assert not strict.admit("/v1/x", deadline_budget_ms=15.0)[0]
+
+    def test_per_route_estimates_are_independent(self):
+        ctrl = AdmissionController(workers=1, default_service_ms=5.0)
+        ctrl.observe("/v1/a", 50.0)
+        assert ctrl.service_ms("/v1/a") == pytest.approx(50.0)
+        assert ctrl.service_ms("/v1/b") == pytest.approx(5.0)
+
+    def test_sustained_shedding_decays_estimate_until_a_probe_is_admitted(self):
+        # A transiently inflated estimate must not starve the route forever:
+        # every shed decays it geometrically, so the gate re-opens and the
+        # next admitted request re-measures the real service time.
+        ctrl = AdmissionController(workers=1, default_service_ms=1_000.0)
+        admitted = False
+        for _ in range(300):
+            admitted, _ = ctrl.admit("/v1/x", deadline_budget_ms=50.0)
+            if admitted:
+                break
+        assert admitted, "estimate never decayed below the deadline"
+        assert ctrl.shed > 0
+        # The probe's measurement snaps the estimate back to reality.
+        ctrl.release("/v1/x", service_ms=400.0)
+        assert not ctrl.admit("/v1/x", deadline_budget_ms=50.0)[0]
+
+    def test_stats_payload(self):
+        ctrl = AdmissionController(workers=3)
+        ctrl.admit("/v1/x", 1e6)
+        stats = ctrl.stats()
+        assert stats["workers"] == 3
+        assert stats["inflight"] == 1
+        assert stats["admitted"] == 1
+
+    def test_retry_after_header_rounds_up(self):
+        assert retry_after_header(0.01) == "1"
+        assert retry_after_header(1.2) == "2"
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_observations(self):
+        hist = LatencyHistogram()
+        for ms in [1.0] * 90 + [100.0] * 10:
+            hist.observe(ms)
+        # Geometric bins give ~4% relative error.
+        assert hist.percentile(50) == pytest.approx(1.0, rel=0.10)
+        assert hist.percentile(99) == pytest.approx(100.0, rel=0.10)
+
+    def test_empty_summary(self):
+        summary = LatencyHistogram().summary()
+        assert summary["count"] == 0
+
+    def test_summary_fields(self):
+        hist = LatencyHistogram()
+        hist.observe(5.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["max_ms"] == pytest.approx(5.0)
+        assert summary["p95_ms"] == pytest.approx(5.0, rel=0.10)
+
+
+class TestMetricsRegistry:
+    def test_routes_lazily_created_and_snapshotted(self):
+        registry = MetricsRegistry()
+        registry.route("/v1/a").observe_ok(2.0, within_deadline=True)
+        registry.route("/v1/a").observe_ok(3.0, within_deadline=False)
+        registry.route("/v1/b").shed += 1
+        snap = registry.snapshot()
+        assert snap["/v1/a"]["ok"] == 1
+        assert snap["/v1/a"]["deadline_miss"] == 1
+        assert snap["/v1/a"]["latency"]["count"] == 2
+        assert snap["/v1/b"]["shed"] == 1
+
+
+class TestBatchDistribution:
+    def test_single_distribution(self):
+        dist = batch_size_distribution({1: 3, 4: 2})
+        assert dist["batches"] == 5
+        assert dist["requests"] == 11
+        assert dist["largest_batch"] == 4
+        assert dist["multi_query_batches"] == 2
+        assert dist["mean_batch_size"] == pytest.approx(11 / 5)
+
+    def test_merge(self):
+        a = batch_size_distribution({1: 2})
+        b = batch_size_distribution({2: 1, 1: 1})
+        merged = merge_batch_distributions([a, b])
+        assert merged["batches"] == 4
+        assert merged["requests"] == 5
+        assert merged["multi_query_batches"] == 1
+
+    def test_empty(self):
+        dist = batch_size_distribution({})
+        assert dist["batches"] == 0
+        assert merge_batch_distributions([])["requests"] == 0

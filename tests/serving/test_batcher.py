@@ -176,3 +176,51 @@ class TestShutdownSemantics:
         batcher.close()
         with pytest.raises(EngineClosed):
             batcher.top_k_heads(0, 0, k=1)
+
+    def test_close_races_with_concurrent_submissions(self):
+        """close() fired with no synchronisation against a wave of submitters:
+        every caller must get either a real result or EngineClosed, and the
+        whole thing must settle (no hung thread, no dropped future)."""
+        engine = make_engine()
+        batcher = RequestBatcher(engine, max_batch=8, max_wait_ms=5.0)
+        outcomes = {}
+        start = threading.Barrier(13)
+
+        def worker(i):
+            start.wait()
+            try:
+                outcomes[i] = batcher.top_k_tails(i % 8, i % 3, k=4)
+            except EngineClosed as exc:
+                outcomes[i] = exc
+
+        def closer():
+            start.wait()
+            time.sleep(0.005)   # land mid-wave, not before it
+            batcher.close()
+
+        threads = ([threading.Thread(target=worker, args=(i,))
+                    for i in range(12)]
+                   + [threading.Thread(target=closer)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "a caller hung across a racing close()"
+
+        assert len(outcomes) == 12
+        for i, outcome in outcomes.items():
+            if isinstance(outcome, EngineClosed):
+                continue
+            expected = engine.model.predict_tails(i % 8, i % 3, k=4)
+            assert list(outcome.entities) == [int(x) for x in expected]
+
+    def test_concurrent_close_calls_are_safe(self):
+        batcher = RequestBatcher(make_engine(), max_batch=4, max_wait_ms=1.0)
+        threads = [threading.Thread(target=batcher.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+        with pytest.raises(EngineClosed):
+            batcher.top_k_tails(0, 0, k=1)

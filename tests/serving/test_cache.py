@@ -1,6 +1,7 @@
 """Tests for the serving LRU cache."""
 
 import threading
+import time
 
 import pytest
 
@@ -76,3 +77,70 @@ class TestLRUCache:
         for t in threads:
             t.join()
         assert len(cache) <= 16
+
+
+class TestSingleFlight:
+    """Satellite regression: concurrent misses on one key compute once."""
+
+    def test_recheck_counts_separately_from_hits(self):
+        cache = LRUCache(capacity=4)
+        assert cache.recheck("a") == (False, None)
+        cache.put("a", 1)
+        found, value = cache.recheck("a")
+        assert found and value == 1
+        # recheck is not a first-look hit: hit_rate keeps meaning "answered
+        # without entering the scoring path at all".
+        assert cache.hits == 0
+        assert cache.inflight_coalesced == 1
+        assert cache.stats()["inflight_coalesced"] == 1
+
+    def test_recheck_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.recheck("a")      # "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a")[0]
+        assert not cache.get("b")[0]
+
+    def test_reset_stats_zeroes_coalesced(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.recheck("a")
+        cache.reset_stats()
+        assert cache.inflight_coalesced == 0
+
+    def test_concurrent_same_key_misses_score_once(self):
+        """The stampede test: N threads miss the same key at once; exactly one
+        enters the scoring path and the rest coalesce onto its result."""
+        from repro.registry import ModelSpec, build_model
+        from repro.serving import InferenceEngine
+
+        model = build_model(ModelSpec(model="transe", formulation="sparse",
+                                      n_entities=30, n_relations=4,
+                                      embedding_dim=8), rng=0)
+        engine = InferenceEngine(model, cache_size=32)
+        original = model.score_all_tails
+
+        def slow_score(heads, relations):
+            time.sleep(0.1)     # hold the score lock so every rider queues up
+            return original(heads, relations)
+
+        model.score_all_tails = slow_score
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(engine.top_k_tails(3, 1, k=5))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(results) == 8
+        assert len({r.entities for r in results}) == 1
+        assert engine.stats()["scoring_calls"] == 1
+        assert engine.cache.stats()["inflight_coalesced"] >= 1

@@ -1,0 +1,103 @@
+"""Unit tests for the deadline-aware batching primitives.
+
+The batcher and estimator are deliberately clock-free (callers pass
+monotonic timestamps), so every scenario here is deterministic: we feed
+synthetic "now" values and assert on ship decisions directly.
+"""
+
+import pytest
+
+from repro.serving.deadline import DeadlineBatcher, ServiceTimeEstimator
+
+
+class TestServiceTimeEstimator:
+    def test_default_before_observations(self):
+        est = ServiceTimeEstimator(default_ms=5.0)
+        assert est.per_row_ms() == pytest.approx(5.0)
+        assert est.estimate_s(4) == pytest.approx(0.020)
+
+    def test_ewma_converges_toward_observations(self):
+        est = ServiceTimeEstimator(default_ms=10.0, alpha=0.5)
+        # Repeated 2 ms/row observations pull the estimate down geometrically.
+        for _ in range(20):
+            est.observe(batch_size=4, seconds=0.008)  # 2 ms per row
+        assert est.per_row_ms() == pytest.approx(2.0, rel=1e-3)
+
+    def test_observe_normalises_by_batch_size(self):
+        est = ServiceTimeEstimator(default_ms=4.0, alpha=1.0)
+        est.observe(batch_size=8, seconds=0.016)  # 16 ms / 8 rows = 2 ms/row
+        assert est.per_row_ms() == pytest.approx(2.0)
+
+    def test_rejects_bad_observations(self):
+        est = ServiceTimeEstimator()
+        before = est.per_row_ms()
+        est.observe(batch_size=0, seconds=0.5)
+        est.observe(batch_size=4, seconds=-1.0)
+        assert est.per_row_ms() == before
+
+
+class TestDeadlineBatcher:
+    def make(self, max_batch=4, default_ms=5.0, slack_ms=1.0):
+        est = ServiceTimeEstimator(default_ms=default_ms)
+        return DeadlineBatcher(max_batch=max_batch, estimator=est,
+                               slack_ms=slack_ms), est
+
+    def test_ships_when_full(self):
+        batcher, _ = self.make(max_batch=3)
+        for i in range(3):
+            batcher.add(i, deadline=100.0)
+        # Full batch ships immediately regardless of how far the deadline is.
+        assert batcher.ready(now=0.0)
+        assert batcher.wait_budget(now=0.0) == 0.0
+        assert [item for item, _ in batcher.take()] == [0, 1, 2]
+        assert len(batcher) == 0
+
+    def test_ships_at_deadline_minus_estimate(self):
+        # 5 ms/row default, slack 1 ms, batch of 1 pending → for a deadline at
+        # t=1.0 the ship time is 1.0 - estimate(2) - slack = 1.0 - 0.011.
+        batcher, _ = self.make(max_batch=4, default_ms=5.0, slack_ms=1.0)
+        batcher.add("a", deadline=1.0)
+        ship = batcher.ship_time()
+        assert ship == pytest.approx(1.0 - 0.010 - 0.001)
+        assert not batcher.ready(now=ship - 0.005)
+        assert batcher.ready(now=ship)
+
+    def test_oldest_deadline_governs(self):
+        batcher, _ = self.make(max_batch=8)
+        batcher.add("late", deadline=50.0)
+        batcher.add("early", deadline=1.0)
+        batcher.add("later", deadline=60.0)
+        # Ship time tracks the most urgent request, not arrival order.
+        assert batcher.ship_time() < 1.0
+
+    def test_wait_budget_semantics(self):
+        batcher, _ = self.make(max_batch=2)
+        # Empty queue: block indefinitely.
+        assert batcher.wait_budget(now=0.0) is None
+        batcher.add("a", deadline=10.0)
+        budget = batcher.wait_budget(now=0.0)
+        assert budget is not None and 0.0 < budget < 10.0
+        # Past the ship time the budget clamps to zero.
+        assert batcher.wait_budget(now=20.0) == 0.0
+
+    def test_take_pops_at_most_max_batch_fifo(self):
+        batcher, _ = self.make(max_batch=2)
+        for i in range(5):
+            batcher.add(i, deadline=float(i))
+        assert [item for item, _ in batcher.take()] == [0, 1]
+        assert [item for item, _ in batcher.take()] == [2, 3]
+        # Remaining item's deadline is re-derived from what is left.
+        assert len(batcher) == 1
+        assert batcher.ship_time() < 4.0
+
+    def test_take_on_empty_returns_empty(self):
+        batcher, _ = self.make()
+        assert batcher.take() == []
+
+    def test_faster_estimates_delay_shipping(self):
+        slow, est_slow = self.make(default_ms=20.0, slack_ms=0.0)
+        fast, est_fast = self.make(default_ms=1.0, slack_ms=0.0)
+        slow.add("x", deadline=1.0)
+        fast.add("x", deadline=1.0)
+        # A faster engine can afford to wait longer for batch-mates.
+        assert fast.ship_time() > slow.ship_time()

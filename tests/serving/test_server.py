@@ -1,5 +1,6 @@
 """HTTP-level tests: a real server on an ephemeral port, queried with urllib."""
 
+import http.client
 import json
 import threading
 import urllib.error
@@ -223,3 +224,59 @@ class TestAnnOverrides:
         error = post_error(server, "/v1/top_k_tails",
                            {"head": 3, "relation": 1, "nprobe": nprobe})
         assert error.code == 400
+
+
+class TestKeepAlive:
+    """Satellite regression: HTTP/1.1 keep-alive on the threaded tier.
+
+    Two sequential requests over one http.client connection must both be
+    answered on the same socket with correct Content-Length framing — this
+    is what lets bench/replay clients reuse connections instead of paying a
+    TCP handshake per query.
+    """
+
+    def test_two_sequential_requests_share_one_connection(self, served):
+        server, model = served
+        conn = http.client.HTTPConnection(server.server_address[0],
+                                          server.server_address[1], timeout=10)
+        try:
+            conn.request("GET", "/v1/health")
+            first = conn.getresponse()
+            assert first.status == 200
+            body = first.read()
+            assert int(first.getheader("Content-Length")) == len(body)
+            sock = conn.sock
+            assert sock is not None
+
+            payload = json.dumps({"head": 1, "relation": 0, "k": 3}).encode()
+            conn.request("POST", "/v1/top_k_tails", body=payload,
+                         headers={"Content-Type": "application/json"})
+            second = conn.getresponse()
+            assert second.status == 200
+            answer = json.loads(second.read())
+            assert answer["entities"] == [int(i)
+                                          for i in model.predict_tails(1, 0, k=3)]
+            # Same socket object → the server kept the connection open.
+            assert conn.sock is sock
+        finally:
+            conn.close()
+
+    def test_error_response_keeps_connection_alive(self, served):
+        server, _ = served
+        conn = http.client.HTTPConnection(server.server_address[0],
+                                          server.server_address[1], timeout=10)
+        try:
+            bad = json.dumps({"relation": 0}).encode()
+            conn.request("POST", "/v1/top_k_tails", body=bad,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+            sock = conn.sock
+            conn.request("GET", "/v1/health")
+            ok = conn.getresponse()
+            assert ok.status == 200
+            ok.read()
+            assert conn.sock is sock
+        finally:
+            conn.close()
